@@ -1,0 +1,37 @@
+"""Shared fixtures for the figure-reproduction benchmark suite.
+
+Each benchmark regenerates one of the paper's figures: it runs the
+corresponding sweep (at reduced scale by default, at paper scale when
+``REPRO_FULL_SCALE=1``), prints the series as a table, and asserts the
+qualitative shape the paper reports.  ``pytest-benchmark`` records the
+wall-clock cost of the sweep; every sweep is executed exactly once
+(``rounds=1``) because a single run already takes seconds to minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig, default_scale
+
+
+@pytest.fixture(scope="session")
+def scenario() -> ScenarioConfig:
+    """The scenario used by every figure benchmark (reduced or paper scale)."""
+    return default_scale()
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run
+
+
+def print_figure(figure) -> None:
+    """Print a figure table so it appears in the benchmark output (-s)."""
+    print()
+    print(figure.to_table())

@@ -1,0 +1,42 @@
+"""Figure 9: impact of the radio break-even time on the DTS-SS duty cycle.
+
+Paper result: for break-even times up to 10 ms (typical MICA2 radios) the
+duty cycle increases only moderately, but a 40 ms break-even time (ZebraNet
+radio) costs up to 30 percentage points because Safe Sleep must refuse every
+sleep interval shorter than T_BE.
+"""
+
+from __future__ import annotations
+
+from conftest import print_figure
+
+from repro.experiments.figures import figure9_break_even_time
+from repro.experiments.scenarios import BREAK_EVEN_TIMES, base_rates
+
+
+def test_fig9_break_even_time(scenario, run_once) -> None:
+    figure = run_once(
+        figure9_break_even_time,
+        scenario,
+        rates=base_rates(),
+        break_even_times=BREAK_EVEN_TIMES,
+    )
+    print_figure(figure)
+
+    rates = figure.x_values()
+    top_rate = max(rates)
+    ideal = figure.get("TBE=0ms")
+    mica_typ = figure.get("TBE=2.5ms")
+    mica_worst = figure.get("TBE=10ms")
+    zebranet = figure.get("TBE=40ms")
+
+    for rate in rates:
+        # A larger break-even time can only increase the duty cycle.
+        assert zebranet.value_at(rate) >= mica_worst.value_at(rate) - 0.5
+        assert mica_worst.value_at(rate) >= ideal.value_at(rate) - 0.5
+        assert mica_typ.value_at(rate) >= ideal.value_at(rate) - 0.5
+
+    # The ZebraNet-class radio pays a clearly visible penalty at high rate,
+    # while MICA2-class break-even times stay close to the ideal radio.
+    assert zebranet.value_at(top_rate) > ideal.value_at(top_rate) + 1.0
+    assert mica_typ.value_at(top_rate) < zebranet.value_at(top_rate)

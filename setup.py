@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works on minimal environments that lack the
+``wheel`` package (PEP 660 editable installs need it; the legacy
+``setup.py develop`` path does not).  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

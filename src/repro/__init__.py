@@ -1,0 +1,21 @@
+"""Reproduction of ESSAT: Efficient Power Management based on Application
+Timing Semantics for Wireless Sensor Networks (Chipara, Lu, Roman).
+
+The package is organised as:
+
+* :mod:`repro.sim` -- discrete-event simulation engine,
+* :mod:`repro.net` -- topology, wireless channel, packets, nodes,
+* :mod:`repro.radio` -- radio state machine and energy/duty-cycle model,
+* :mod:`repro.mac` -- CSMA/CA MAC layer,
+* :mod:`repro.routing` -- routing-tree construction and maintenance,
+* :mod:`repro.query` -- periodic query service with in-network aggregation,
+* :mod:`repro.core` -- the ESSAT contribution: Safe Sleep plus the NTS, STS
+  and DTS traffic shapers,
+* :mod:`repro.baselines` -- SYNC, PSM and SPAN comparison protocols,
+* :mod:`repro.experiments` -- scenario configs, metrics, and the per-figure
+  reproduction harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

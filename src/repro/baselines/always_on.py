@@ -1,0 +1,56 @@
+"""Always-on baseline: no power management at all.
+
+Every radio stays in idle listening for the whole run.  This is the upper
+bound on energy consumption (duty cycle 1.0) and the lower bound on query
+latency, useful as a sanity reference for the other protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..net.node import Network
+from ..query.query import QuerySpec
+from ..query.service import GreedySendPolicy, QueryService, RootDeliveryCallback
+from ..routing.tree import RoutingTree
+from ..sim.engine import Simulator
+
+
+class AlwaysOnSuite:
+    """Query service on every node, radios permanently on."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        tree: RoutingTree,
+        *,
+        on_root_delivery: Optional[RootDeliveryCallback] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.tree = tree
+        self.services: Dict[int, QueryService] = {}
+        for node_id in tree.nodes:
+            self.services[node_id] = QueryService(
+                sim,
+                network.node(node_id),
+                tree,
+                policy=GreedySendPolicy(),
+                on_root_delivery=on_root_delivery,
+            )
+
+    @property
+    def name(self) -> str:
+        """Protocol name used in reports."""
+        return "ALWAYS-ON"
+
+    def register_query(self, query: QuerySpec) -> None:
+        """Register ``query`` on every node."""
+        for service in self.services.values():
+            service.register_query(query)
+
+    def register_queries(self, queries: Iterable[QuerySpec]) -> None:
+        """Register several queries on every node."""
+        for query in queries:
+            self.register_query(query)

@@ -1,0 +1,221 @@
+"""Command-line interface for the ESSAT reproduction.
+
+Exposes the experiment harness without writing any Python:
+
+* ``python -m repro.cli figure fig3`` regenerates one of the paper's figures
+  and prints the series as a table,
+* ``python -m repro.cli compare --base-rate 2`` runs every protocol on one
+  workload and prints a duty-cycle / latency / lifetime comparison,
+* ``python -m repro.cli list`` shows the available figures and protocols.
+
+The ``--scale`` option selects the scenario size (``smoke`` for seconds-long
+sanity runs, ``reduced`` for the default benchmark scale, ``paper`` for the
+full 80-node, 200 s, 5-replication configuration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .experiments.config import ScenarioConfig, paper_scale, reduced_scale, smoke_scale
+from .experiments.figures import (
+    dts_overhead_vs_rate,
+    figure2_deadline_sweep,
+    figure3_duty_cycle_vs_rate,
+    figure4_duty_cycle_vs_queries,
+    figure5_duty_cycle_by_rank,
+    figure6_latency_vs_rate,
+    figure7_latency_vs_queries,
+    figure8_sleep_interval_histogram,
+    figure9_break_even_time,
+    headline_claims,
+)
+from .experiments.lifetime import estimate_lifetime
+from .experiments.runner import ALL_PROTOCOLS, run_experiment
+from .experiments.scenarios import base_rates, rate_sweep_workload
+from .experiments.tables import comparison_table
+from .routing.tree import build_routing_tree
+
+#: Scale name -> scenario factory.
+SCALES: Dict[str, Callable[[], ScenarioConfig]] = {
+    "smoke": smoke_scale,
+    "reduced": reduced_scale,
+    "paper": paper_scale,
+}
+
+#: Figure name -> (description, generator taking (scenario, num_runs)).
+FIGURES: Dict[str, tuple] = {
+    "fig2": (
+        "STS-SS duty cycle and latency vs query deadline",
+        lambda scenario, runs: figure2_deadline_sweep(scenario, num_runs=runs),
+    ),
+    "fig3": (
+        "average duty cycle vs base rate",
+        lambda scenario, runs: figure3_duty_cycle_vs_rate(scenario, num_runs=runs),
+    ),
+    "fig4": (
+        "average duty cycle vs queries per class",
+        lambda scenario, runs: figure4_duty_cycle_vs_queries(scenario, num_runs=runs),
+    ),
+    "fig5": (
+        "duty cycle distribution over node ranks",
+        lambda scenario, runs: figure5_duty_cycle_by_rank(scenario, num_runs=runs or 1),
+    ),
+    "fig6": (
+        "query latency vs base rate",
+        lambda scenario, runs: figure6_latency_vs_rate(scenario, num_runs=runs),
+    ),
+    "fig7": (
+        "query latency vs queries per class",
+        lambda scenario, runs: figure7_latency_vs_queries(scenario, num_runs=runs),
+    ),
+    "fig8": (
+        "sleep-interval histogram (T_BE = 0)",
+        lambda scenario, runs: figure8_sleep_interval_histogram(scenario, num_runs=runs or 1),
+    ),
+    "fig9": (
+        "duty cycle vs base rate for several break-even times",
+        lambda scenario, runs: figure9_break_even_time(scenario, num_runs=runs),
+    ),
+    "overhead": (
+        "DTS phase-update overhead per data report",
+        lambda scenario, runs: dts_overhead_vs_rate(scenario, num_runs=runs),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="essat-repro",
+        description="Reproduce the ESSAT paper's experiments (Chipara, Lu, Roman).",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="reduced",
+        help="scenario size: smoke (seconds), reduced (default), paper (full scale)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=None, help="replications per data point (default: per scale)"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
+    figure_parser.add_argument("name", choices=sorted(FIGURES) + ["headline"])
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="run every protocol on one workload and compare them"
+    )
+    compare_parser.add_argument("--base-rate", type=float, default=2.0, help="base rate in Hz")
+    compare_parser.add_argument(
+        "--protocols",
+        nargs="+",
+        default=list(ALL_PROTOCOLS),
+        choices=list(ALL_PROTOCOLS),
+        help="protocols to include",
+    )
+
+    subparsers.add_parser("list", help="list available figures, protocols and scales")
+    return parser
+
+
+def _print_headline(scenario: ScenarioConfig, runs: Optional[int], out) -> None:
+    rates = base_rates()
+    figure3 = figure3_duty_cycle_vs_rate(
+        scenario, rates=rates, protocols=("DTS-SS", "SPAN"), num_runs=runs
+    )
+    figure6 = figure6_latency_vs_rate(
+        scenario, rates=rates, protocols=("DTS-SS", "PSM", "SYNC"), num_runs=runs
+    )
+    print(figure3.to_table(), file=out)
+    print(file=out)
+    print(figure6.to_table(), file=out)
+    print(file=out)
+    print("headline claims (paper: duty 38-87% below SPAN, latency 36-98% below PSM/SYNC):", file=out)
+    for key, value in headline_claims(figure3, figure6).items():
+        print(f"  {key} = {value:.1f}%", file=out)
+
+
+def _run_figure(name: str, scenario: ScenarioConfig, runs: Optional[int], out) -> None:
+    if name == "headline":
+        _print_headline(scenario, runs, out)
+        return
+    description, generator = FIGURES[name]
+    print(f"# {name}: {description}", file=out)
+    figure = generator(scenario, runs)
+    print(figure.to_table(), file=out)
+
+
+def _run_compare(
+    scenario: ScenarioConfig,
+    protocols: Sequence[str],
+    base_rate: float,
+    runs: Optional[int],
+    out,
+) -> None:
+    workload = rate_sweep_workload(base_rate)
+    rows: Dict[str, Dict[str, float]] = {}
+    for protocol in protocols:
+        result = run_experiment(scenario, protocol, workload=workload, num_runs=runs)
+        # Project lifetimes against the same tree the metrics were computed on.
+        tree = build_routing_tree(
+            _rebuild_topology(scenario), max_distance_from_root=scenario.max_distance_from_root
+        )
+        lifetime = estimate_lifetime(result.metrics, tree)
+        rows[protocol] = {
+            "duty_cycle_%": result.metrics.average_duty_cycle * 100.0,
+            "latency_ms": result.metrics.average_query_latency * 1000.0,
+            "delivery_ratio": result.metrics.delivery_ratio,
+            "lifetime_days": lifetime.first_death / 86400.0,
+        }
+    print(
+        f"protocol comparison at base rate {base_rate:g} Hz "
+        f"({scenario.num_nodes} nodes, {scenario.duration:g}s):",
+        file=out,
+    )
+    print(
+        comparison_table(rows, ["duty_cycle_%", "latency_ms", "delivery_ratio", "lifetime_days"]),
+        file=out,
+    )
+
+
+def _rebuild_topology(scenario: ScenarioConfig):
+    from .experiments.runner import build_scenario_topology
+
+    return build_scenario_topology(scenario, scenario.seed)
+
+
+def _run_list(out) -> None:
+    print("figures:", file=out)
+    for name in sorted(FIGURES):
+        print(f"  {name:9s} {FIGURES[name][0]}", file=out)
+    print("  headline  the abstract's duty-cycle and latency reduction claims", file=out)
+    print("protocols: " + ", ".join(ALL_PROTOCOLS), file=out)
+    print("scales   : " + ", ".join(sorted(SCALES)), file=out)
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    scenario = SCALES[args.scale]()
+
+    if args.command == "list":
+        _run_list(out)
+        return 0
+    if args.command == "figure":
+        _run_figure(args.name, scenario, args.runs, out)
+        return 0
+    if args.command == "compare":
+        _run_compare(scenario, args.protocols, args.base_rate, args.runs, out)
+        return 0
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

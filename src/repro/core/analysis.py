@@ -1,0 +1,132 @@
+"""Closed-form analysis of the ESSAT protocols (Equations 1-3).
+
+These are the analytical models the paper derives in Section 4.2 and
+validates against simulation in Section 5:
+
+* Equation 1 -- idle-listening time of NTS-SS as a function of node rank,
+* Equation 2 -- query latency of STS-SS as a function of the local deadline,
+* Equation 3 -- idle-listening time of STS-SS as a function of the local
+  deadline and node rank.
+
+They are used by the test suite to check that the simulated protocols follow
+the predicted trends (linear-in-rank idle listening for NTS-SS, the
+duty-cycle/latency knee of STS-SS at ``l ~= Tagg``), and exposed to users who
+want to size deadlines without running a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mac.base import MacConfig
+from ..net.packet import ACK_BYTES, DEFAULT_DATA_REPORT_BYTES
+
+
+@dataclass(frozen=True)
+class AggregationCost:
+    """The per-hop aggregation cost model used in the paper's analysis.
+
+    Attributes
+    ----------
+    t_collect:
+        Upper bound on the time a node needs to receive all the data reports
+        from its children once they are ready to transmit.
+    t_comp:
+        Upper bound on the time a node needs to compute the aggregate.
+    """
+
+    t_collect: float
+    t_comp: float = 0.0
+
+    @property
+    def t_agg(self) -> float:
+        """``Tagg = Tcollect + Tcomp``."""
+        return self.t_collect + self.t_comp
+
+
+def estimate_aggregation_cost(
+    num_children: int,
+    mac_config: MacConfig | None = None,
+    report_bytes: int = DEFAULT_DATA_REPORT_BYTES,
+    t_comp: float = 0.0,
+    contention_factor: float = 2.0,
+) -> AggregationCost:
+    """Estimate ``Tcollect``/``Tagg`` from MAC parameters.
+
+    ``Tcollect`` is approximated as the serialized airtime of the children's
+    reports plus their acknowledgements and inter-frame spaces, inflated by a
+    ``contention_factor`` that accounts for backoff under contention.
+    """
+    if num_children < 0:
+        raise ValueError(f"number of children must be non-negative, got {num_children}")
+    config = mac_config if mac_config is not None else MacConfig()
+    per_report = (
+        config.difs
+        + config.frame_airtime(report_bytes)
+        + config.sifs
+        + config.frame_airtime(ACK_BYTES)
+    )
+    t_collect = contention_factor * num_children * per_report
+    return AggregationCost(t_collect=t_collect, t_comp=t_comp)
+
+
+def nts_receive_time(rank: int, cost: AggregationCost) -> float:
+    """Equation 1: time a node of rank ``d`` idles to receive its children's reports.
+
+    ``Trecv(d) = 0`` for leaves and ``(d - 1) * Tagg + Tcollect`` otherwise.
+    """
+    if rank < 0:
+        raise ValueError(f"rank must be non-negative, got {rank}")
+    if rank == 0:
+        return 0.0
+    return (rank - 1) * cost.t_agg + cost.t_collect
+
+
+def sts_query_latency(max_rank: int, local_deadline: float, cost: AggregationCost) -> float:
+    """Equation 2: STS query latency ``Lq = M * max(l, Tagg)``."""
+    if max_rank < 0:
+        raise ValueError(f"max rank must be non-negative, got {max_rank}")
+    if local_deadline < 0:
+        raise ValueError(f"local deadline must be non-negative, got {local_deadline}")
+    return max_rank * max(local_deadline, cost.t_agg)
+
+
+def sts_receive_time(local_deadline: float, rank: int, cost: AggregationCost) -> float:
+    """Equation 3: STS idle-listening time as a function of ``l`` and rank ``d``.
+
+    ``Trecv = 0`` for leaves; ``(Tagg - l)(d - 1) + Tcollect`` while
+    ``l <= Tagg``; and just ``Tcollect`` once ``l > Tagg`` (the children are
+    always ready in time).
+    """
+    if rank < 0:
+        raise ValueError(f"rank must be non-negative, got {rank}")
+    if local_deadline < 0:
+        raise ValueError(f"local deadline must be non-negative, got {local_deadline}")
+    if rank == 0:
+        return 0.0
+    if local_deadline <= cost.t_agg:
+        return (cost.t_agg - local_deadline) * (rank - 1) + cost.t_collect
+    return cost.t_collect
+
+
+def nts_duty_cycle(rank: int, period: float, cost: AggregationCost) -> float:
+    """Predicted NTS-SS receive duty cycle of a node of rank ``d``.
+
+    The fraction of each period spent idle-listening for children's reports;
+    sending time is excluded, as in the paper's analysis.
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    return min(1.0, nts_receive_time(rank, cost) / period)
+
+
+def sts_optimal_deadline(max_rank: int, cost: AggregationCost) -> float:
+    """The deadline ``D = M * Tagg`` at which STS-SS's knee occurs (Figure 2).
+
+    Below this deadline the local deadline ``l`` is shorter than ``Tagg`` and
+    nodes still idle waiting for late children; above it the query latency
+    grows linearly with ``D`` without further duty-cycle savings.
+    """
+    if max_rank < 0:
+        raise ValueError(f"max rank must be non-negative, got {max_rank}")
+    return max_rank * cost.t_agg

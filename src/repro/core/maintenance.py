@@ -1,0 +1,127 @@
+"""Network-level ESSAT protocol maintenance (Section 4.3).
+
+This module coordinates what happens across the network when a node fails
+permanently:
+
+1. the failed node stops participating (it is detached from the channel),
+2. the routing layer repairs the tree (orphans re-parent to surviving
+   neighbours, ranks/levels are recomputed),
+3. the failed node's parent drops its dependency so it no longer waits for
+   reports that will never come,
+4. each new parent starts expecting reports from its adopted children, and
+5. the shapers refresh any rank-dependent state: NTS needs nothing, STS
+   recomputes its schedule from the new ranks, and DTS simply forces a phase
+   update on the orphans' next reports.
+
+The per-protocol *cost* of step 5 is exactly the robustness comparison the
+paper makes between the three shapers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..net.node import Network
+from ..routing.maintenance import RepairResult, TreeMaintenance
+from .dts import DynamicTrafficShaper
+from .protocol import EssatProtocolSuite
+from .sts import StaticTrafficShaper
+
+
+@dataclass
+class FailureHandlingReport:
+    """What protocol maintenance had to do for one node failure."""
+
+    repair: RepairResult
+    #: Nodes whose shaper state had to be refreshed because ranks changed.
+    reschedule_updates: List[int] = field(default_factory=list)
+    #: Orphans that will resynchronise via a single DTS phase update.
+    phase_updates_forced: List[int] = field(default_factory=list)
+    #: (parent, adopted child) dependencies added.
+    dependencies_added: List[tuple] = field(default_factory=list)
+
+
+class EssatMaintenance:
+    """Coordinates failure handling for an installed ESSAT protocol suite."""
+
+    def __init__(self, suite: EssatProtocolSuite, network: Network) -> None:
+        self._suite = suite
+        self._network = network
+        self._tree_maintenance = TreeMaintenance(suite.tree, network.topology)
+        self.handled_failures: List[FailureHandlingReport] = []
+
+    def fail_node(self, node_id: int) -> FailureHandlingReport:
+        """Fail ``node_id`` permanently and repair the protocol state."""
+        tree = self._suite.tree
+        old_parent = tree.parent_of(node_id)
+
+        # 1. The node stops participating in the network.
+        self._network.fail_node(node_id)
+        failed_instance = self._suite.nodes.pop(node_id, None)
+        if failed_instance is not None:
+            failed_instance.safe_sleep.enabled = False
+            failed_instance.service.shutdown()
+
+        # 2. Repair the routing tree.
+        repair = self._tree_maintenance.handle_node_failure(node_id)
+        report = FailureHandlingReport(repair=repair)
+
+        # 3. The failed node's parent removes its dependency.
+        if old_parent is not None and old_parent in self._suite.nodes:
+            self._suite.nodes[old_parent].service.remove_child_dependency(node_id)
+
+        # 4. New parents adopt the orphans.
+        for orphan, new_parent in repair.reattached.items():
+            parent_instance = self._suite.nodes.get(new_parent)
+            orphan_instance = self._suite.nodes.get(orphan)
+            if parent_instance is None or orphan_instance is None:
+                continue
+            parent_instance.service.add_child_dependency(orphan)
+            for query in orphan_instance.service.registered_queries():
+                parent_instance.shaper.child_added(
+                    query.query_id, orphan, child_rank=tree.rank(orphan)
+                )
+                report.dependencies_added.append((new_parent, orphan))
+            # 5a. DTS: the orphan announces its schedule with one phase update.
+            if isinstance(orphan_instance.shaper, DynamicTrafficShaper):
+                orphan_instance.shaper.parent_changed()
+                report.phase_updates_forced.append(orphan)
+
+        # 5b. STS (and, harmlessly, the others): refresh rank-dependent state
+        # on every node whose rank changed.
+        for affected in repair.rank_changes:
+            instance = self._suite.nodes.get(affected)
+            if instance is None:
+                continue
+            instance.shaper.refresh_topology(tree)
+            if isinstance(instance.shaper, StaticTrafficShaper):
+                report.reschedule_updates.append(affected)
+        # Orphans always need a refresh too: their own rank may be unchanged
+        # but their parent (and for STS the schedule anchor) moved.
+        for orphan in repair.reattached:
+            instance = self._suite.nodes.get(orphan)
+            if instance is not None:
+                instance.shaper.refresh_topology(tree)
+                if (
+                    isinstance(instance.shaper, StaticTrafficShaper)
+                    and orphan not in report.reschedule_updates
+                ):
+                    report.reschedule_updates.append(orphan)
+
+        self.handled_failures.append(report)
+        return report
+
+    def maintenance_cost_summary(self) -> Dict[str, int]:
+        """Aggregate counts of maintenance actions across handled failures."""
+        return {
+            "failures_handled": len(self.handled_failures),
+            "reschedule_updates": sum(len(r.reschedule_updates) for r in self.handled_failures),
+            "phase_updates_forced": sum(
+                len(r.phase_updates_forced) for r in self.handled_failures
+            ),
+            "dependencies_added": sum(len(r.dependencies_added) for r in self.handled_failures),
+            "disconnected_subtrees": sum(
+                len(r.repair.disconnected) for r in self.handled_failures
+            ),
+        }

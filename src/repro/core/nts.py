@@ -1,0 +1,110 @@
+"""NTS: No Traffic Shaping (Section 4.2.1).
+
+With NTS, Safe Sleep only exploits the periodicity of the sources: every
+node shares the same expected send and reception times for the k-th report
+of a query, ``s(k) = r(k) = phi + k * P``.  Aggregated reports are forwarded
+greedily as soon as they are ready, so NTS-SS adds no delay penalty, but a
+node of rank ``d`` idles for roughly ``(d - 1) * Tagg + Tcollect`` every
+period while the reports trickle up the tree (Equation 1), which is why its
+energy consumption grows with rank (Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..net.packet import DataReportPacket
+from .shaper import TrafficShaper, _ShaperQueryState
+
+
+class NoTrafficShaping(TrafficShaper):
+    """The NTS traffic shaper."""
+
+    name = "NTS"
+
+    # ------------------------------------------------------------------ #
+    # schedule arithmetic
+    # ------------------------------------------------------------------ #
+
+    def _expected_time(self, query_id: int, report_index: int) -> float:
+        """The shared expected time ``phi + k * P`` of the k-th report."""
+        spec = self._state(query_id).spec
+        return spec.report_time(report_index)
+
+    # ------------------------------------------------------------------ #
+    # initialization
+    # ------------------------------------------------------------------ #
+
+    def _init_query(self, state: _ShaperQueryState) -> None:
+        first = state.spec.start_time
+        for child in state.children:
+            self._table.set_next_receive(state.spec.query_id, child, first)
+        if not state.is_root:
+            self._table.set_next_send(state.spec.query_id, first)
+
+    # ------------------------------------------------------------------ #
+    # timing decisions
+    # ------------------------------------------------------------------ #
+
+    def send_time(self, query_id: int, report_index: int, ready_time: float) -> float:
+        """NTS forwards aggregated reports immediately."""
+        self.stats.reports_observed += 1
+        return ready_time
+
+    def collection_timeout(self, query_id: int, report_index: int, period_start: float) -> float:
+        """The paper's NTS-SS timeout: ``t_TO(d) = (d + 1) * D / M``."""
+        state = self._state(query_id)
+        deadline = state.spec.effective_deadline
+        return period_start + (state.rank + 1) * deadline / state.max_rank
+
+    def report_received(self, query_id: int, child: int, packet: DataReportPacket) -> None:
+        self._reset_miss_count(query_id, child)
+        next_time = self._expected_time(query_id, packet.report_index + 1)
+        self._table.set_next_receive(query_id, child, next_time)
+
+    def report_sent(
+        self,
+        query_id: int,
+        report_index: int,
+        *,
+        submitted_at: float,
+        completed_at: float,
+        success: bool,
+    ) -> None:
+        state = self._state(query_id)
+        if state.is_root:
+            return
+        self._table.set_next_send(query_id, self._expected_time(query_id, report_index + 1))
+
+    def handle_missing_children(
+        self, query_id: int, report_index: int, missing: Set[int], period_start: float
+    ) -> None:
+        """Advance the schedule-based expectations of missing children.
+
+        NTS's expected times depend only on the query parameters, so a missed
+        report simply rolls the expectation to the next period; the node does
+        not have to stay awake waiting for it.
+        """
+        super().handle_missing_children(query_id, report_index, missing, period_start)
+        state = self._state(query_id)
+        next_time = self._expected_time(query_id, report_index + 1)
+        for child in missing:
+            if child in state.children:
+                self._table.set_next_receive(query_id, child, next_time)
+        if not state.is_root:
+            current = self._table.next_send(query_id)
+            if current is not None and current < next_time:
+                self._table.set_next_send(query_id, next_time)
+
+    def child_added(self, query_id: int, child: int, child_rank: int = 0) -> None:
+        """A re-parented child follows the same shared schedule immediately."""
+        state = self._queries.get(query_id)
+        if state is None:
+            return
+        if child not in state.children:
+            state.children.append(child)
+        state.child_ranks[child] = child_rank
+        report_index = max(0, state.spec.report_index_at(self._sim.now) + 1)
+        self._table.set_next_receive(
+            query_id, child, self._expected_time(query_id, report_index)
+        )

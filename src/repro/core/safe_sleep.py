@@ -1,0 +1,164 @@
+"""Safe Sleep (SS): the local sleep-scheduling algorithm of Section 4.1.
+
+Safe Sleep turns the radio off exactly when the node is *free* -- it expects
+neither to receive nor to send a data report -- and the free interval is
+longer than the radio's break-even time ``t_BE``, and it starts the wake-up
+transition ``t_OFF->ON`` before the next expected event so the radio is
+listening again just in time.  By construction it therefore never introduces
+a delay or energy penalty (hence "safe").
+
+The algorithm mirrors the paper's pseudocode (Figure 1): it re-evaluates the
+node's state after every update to the expected send/receive times (made by
+the traffic shaper through the :class:`~repro.core.timing.TimingTable`), and
+whenever the node finishes sending or receiving a data report.
+
+Implementation notes
+--------------------
+* ``checkState`` is deferred by a zero-delay event so that a chain of
+  bookkeeping updates (e.g. "last child report arrived -> aggregate -> hand
+  the report to the MAC") completes before the sleep decision is made;
+  otherwise the node could power down between two steps of the same logical
+  action.
+* The node never sleeps while the MAC still holds frames to transmit, and the
+  radio itself refuses to sleep mid-reception or mid-transmission.
+* The break-even time defaults to the one implied by the radio's power
+  profile but can be overridden -- the paper's Figure 9 sweeps ``T_BE`` as an
+  SS parameter while keeping the radio fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..mac.base import Mac
+from ..radio.radio import Radio
+from ..radio.states import RadioState
+from ..sim.engine import Simulator
+from ..sim.events import EventPriority
+from .timing import TimingTable
+
+
+@dataclass
+class SafeSleepStats:
+    """Counters describing one node's Safe Sleep activity."""
+
+    checks: int = 0
+    sleeps: int = 0
+    kept_awake_busy_mac: int = 0
+    kept_awake_below_break_even: int = 0
+    kept_awake_expectation_due: int = 0
+    kept_awake_setup_slot: int = 0
+
+
+class SafeSleep:
+    """Safe Sleep scheduler instance for one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Radio,
+        mac: Mac,
+        table: TimingTable,
+        *,
+        break_even_time: Optional[float] = None,
+        setup_until: float = 0.0,
+        enabled: bool = True,
+    ) -> None:
+        self._sim = sim
+        self._radio = radio
+        self._mac = mac
+        self._table = table
+        #: Break-even time used to gate sleep decisions (Figure 9 parameter).
+        self.break_even_time = (
+            break_even_time if break_even_time is not None else radio.break_even_time
+        )
+        #: Until this time the node stays awake to serve query/tree setup
+        #: traffic (the paper's "setup slot").
+        self.setup_until = setup_until
+        self.enabled = enabled
+        self.stats = SafeSleepStats()
+        self._check_pending = False
+        table.subscribe(self.check_state)
+        radio.on_wake(self.check_state)
+        radio.on_state_change(self._on_radio_state_change)
+
+    def _on_radio_state_change(self, old_state: RadioState, new_state: RadioState) -> None:
+        # Re-evaluate whenever the radio returns to idle listening (e.g. it
+        # just finished transmitting an acknowledgement): that is the moment
+        # the node may have become free.
+        if new_state is RadioState.IDLE:
+            self.check_state()
+
+    # ------------------------------------------------------------------ #
+
+    def check_state(self) -> None:
+        """Request a (deferred, coalesced) re-evaluation of the sleep decision."""
+        if not self.enabled or self._check_pending:
+            return
+        self._check_pending = True
+        self._sim.schedule_in(
+            0.0, self._do_check, priority=EventPriority.LOW, label="safe_sleep.check"
+        )
+
+    def _do_check(self) -> None:
+        self._check_pending = False
+        self.stats.checks += 1
+        now = self._sim.now
+
+        if now < self.setup_until:
+            self.stats.kept_awake_setup_slot += 1
+            self._schedule_recheck(self.setup_until)
+            return
+        if self._radio.is_asleep:
+            # A new expectation may have appeared while asleep (e.g. a query
+            # registered at runtime): pull the scheduled wake-up forward if
+            # the node now needs to be up earlier.
+            t_wakeup = self._table.next_wakeup()
+            if t_wakeup is not None:
+                self._radio.advance_wake(max(now, t_wakeup))
+            return
+        if not self._radio.is_awake:
+            # Transitioning; the wake-up path re-checks on completion.
+            return
+        if self._mac.has_pending:
+            # Sending (or about to send); SS re-runs when the shaper records
+            # the completed send in the timing table.
+            self.stats.kept_awake_busy_mac += 1
+            return
+
+        t_wakeup = self._table.next_wakeup()
+        if t_wakeup is None:
+            # No queries routed through this node: nothing to schedule
+            # against, so leave the radio alone (the protocol above decides
+            # what an idle node should do).
+            return
+
+        t_sleep = t_wakeup - now
+        if t_sleep <= 0:
+            # A data report is due (or overdue): the node is busy listening.
+            self.stats.kept_awake_expectation_due += 1
+            return
+        if t_sleep <= self.break_even_time:
+            # Sleeping would cost more than it saves (or would make the node
+            # late); stay awake until the expectation and re-check then.
+            self.stats.kept_awake_below_break_even += 1
+            self._schedule_recheck(t_wakeup)
+            return
+
+        if self._radio.sleep_until(t_wakeup):
+            self.stats.sleeps += 1
+            self._sim.trace.emit(
+                now,
+                "safe_sleep.sleep",
+                node=self._radio.node_id,
+                until=t_wakeup,
+                interval=t_sleep,
+            )
+
+    def _schedule_recheck(self, when: float) -> None:
+        if when <= self._sim.now:
+            return
+        self._sim.schedule_at(
+            when, self.check_state, priority=EventPriority.LOW, label="safe_sleep.recheck"
+        )

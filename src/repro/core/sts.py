@@ -1,0 +1,174 @@
+"""STS: Static Traffic Shaper (Section 4.2.2).
+
+STS paces the multi-hop propagation of each report over an assigned deadline
+``D`` by giving every rank of the tree the same local deadline ``l = D / M``
+(``M`` is the maximum rank).  A node of rank ``d`` expects to receive its
+children's reports at ``phi + k * P + l * (d - 1)`` and to send its own
+aggregated report at ``phi + k * P + l * d``.  Early reports are buffered
+until the expected send time; late reports are sent immediately.
+
+Two implementation details:
+
+* The expected *reception* time stored for a child is that child's expected
+  *send* time (``phi + k * P + l * d_child``), as required by the paper's
+  rule that "the traffic shapers always set the expected reception time of a
+  child's data report to be the same as the child's expected send time" --
+  otherwise a parent would sleep through the transmissions of children whose
+  rank is more than one below its own.
+* ``l`` is derived from the query's deadline ``D`` (the paper's experiments
+  set ``D`` equal to the query period) and the tree's maximum rank at
+  registration time; a topology change that alters ranks requires
+  :meth:`refresh_topology`, which is the extra maintenance cost the paper
+  attributes to STS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..net.packet import DataReportPacket
+from .shaper import TrafficShaper, _ShaperQueryState
+
+
+class StaticTrafficShaper(TrafficShaper):
+    """The STS traffic shaper."""
+
+    name = "STS"
+
+    def __init__(self, *args, timeout_constant: float = 0.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: The constant ``t_TO`` subtracted from ``s(k) + l`` when computing
+        #: the aggregation timeout (Section 4.3).
+        self.timeout_constant = timeout_constant
+        #: Local deadline ``l`` per query id.
+        self._local_deadline: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # schedule arithmetic
+    # ------------------------------------------------------------------ #
+
+    def local_deadline(self, query_id: int) -> float:
+        """The local deadline ``l = D / M`` of ``query_id``."""
+        return self._local_deadline[query_id]
+
+    def expected_send_time(self, query_id: int, report_index: int) -> float:
+        """``s(k) = phi + k * P + l * d`` for this node."""
+        state = self._state(query_id)
+        l = self._local_deadline[query_id]
+        return state.spec.report_time(report_index) + l * state.rank
+
+    def expected_receive_time(self, query_id: int, child: int, report_index: int) -> float:
+        """Expected reception of ``child``'s k-th report (its send time)."""
+        state = self._state(query_id)
+        l = self._local_deadline[query_id]
+        child_rank = state.child_ranks.get(child, max(0, state.rank - 1))
+        return state.spec.report_time(report_index) + l * child_rank
+
+    # ------------------------------------------------------------------ #
+    # initialization
+    # ------------------------------------------------------------------ #
+
+    def _init_query(self, state: _ShaperQueryState) -> None:
+        query_id = state.spec.query_id
+        self._local_deadline[query_id] = state.spec.effective_deadline / state.max_rank
+        for child in state.children:
+            self._table.set_next_receive(
+                query_id, child, self.expected_receive_time(query_id, child, 0)
+            )
+        if not state.is_root:
+            self._table.set_next_send(query_id, self.expected_send_time(query_id, 0))
+
+    # ------------------------------------------------------------------ #
+    # timing decisions
+    # ------------------------------------------------------------------ #
+
+    def send_time(self, query_id: int, report_index: int, ready_time: float) -> float:
+        """Buffer early reports until ``s(k)``; send late reports immediately."""
+        self.stats.reports_observed += 1
+        expected = self.expected_send_time(query_id, report_index)
+        if ready_time <= expected:
+            if expected > ready_time:
+                self.stats.reports_buffered += 1
+            return expected
+        self.stats.reports_sent_late += 1
+        return ready_time
+
+    def collection_timeout(self, query_id: int, report_index: int, period_start: float) -> float:
+        """``s(k) + l - t_TO`` (Section 4.3), never earlier than ``s(k)``."""
+        expected = self.expected_send_time(query_id, report_index)
+        l = self._local_deadline[query_id]
+        return expected + max(0.0, l - self.timeout_constant)
+
+    def report_received(self, query_id: int, child: int, packet: DataReportPacket) -> None:
+        self._reset_miss_count(query_id, child)
+        self._table.set_next_receive(
+            query_id, child, self.expected_receive_time(query_id, child, packet.report_index + 1)
+        )
+
+    def report_sent(
+        self,
+        query_id: int,
+        report_index: int,
+        *,
+        submitted_at: float,
+        completed_at: float,
+        success: bool,
+    ) -> None:
+        state = self._state(query_id)
+        if state.is_root:
+            return
+        self._table.set_next_send(query_id, self.expected_send_time(query_id, report_index + 1))
+
+    def handle_missing_children(
+        self, query_id: int, report_index: int, missing: Set[int], period_start: float
+    ) -> None:
+        """Roll missing children's schedule-based expectations to the next period."""
+        super().handle_missing_children(query_id, report_index, missing, period_start)
+        state = self._state(query_id)
+        for child in missing:
+            if child in state.children:
+                self._table.set_next_receive(
+                    query_id, child, self.expected_receive_time(query_id, child, report_index + 1)
+                )
+        if not state.is_root:
+            next_send = self.expected_send_time(query_id, report_index + 1)
+            current = self._table.next_send(query_id)
+            if current is not None and current < next_send:
+                self._table.set_next_send(query_id, next_send)
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+
+    def child_added(self, query_id: int, child: int, child_rank: int = 0) -> None:
+        """Expect the new child according to its rank in the (updated) tree."""
+        state = self._queries.get(query_id)
+        if state is None:
+            return
+        if child not in state.children:
+            state.children.append(child)
+        state.child_ranks[child] = child_rank
+        report_index = max(0, state.spec.report_index_at(self._sim.now) + 1)
+        self._table.set_next_receive(
+            query_id, child, self.expected_receive_time(query_id, child, report_index)
+        )
+
+    def refresh_topology(self, tree) -> None:
+        """Recompute ``l`` and the whole schedule after ranks changed.
+
+        This is the cost the paper highlights for STS-SS under topology
+        changes: the node and its descendants must recompute their expected
+        send and reception times according to their new ranks.
+        """
+        super().refresh_topology(tree)
+        for query_id, state in self._queries.items():
+            self._local_deadline[query_id] = state.spec.effective_deadline / state.max_rank
+            report_index = max(0, state.spec.report_index_at(self._sim.now) + 1)
+            for child in state.children:
+                self._table.set_next_receive(
+                    query_id, child, self.expected_receive_time(query_id, child, report_index)
+                )
+            if not state.is_root:
+                self._table.set_next_send(
+                    query_id, self.expected_send_time(query_id, report_index)
+                )

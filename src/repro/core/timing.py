@@ -1,0 +1,142 @@
+"""Expected send/receive time bookkeeping shared by the shapers and Safe Sleep.
+
+Section 4.1 of the paper: for every query ``q`` routed through a node, the
+node stores the time it expects the next data report from each child in
+``q.rnext(c)`` and the time it expects to send the next aggregated report to
+its parent in ``q.snext``.  The traffic shaper writes these values; Safe
+Sleep reads their minimum to decide when the node is free.
+
+The :class:`TimingTable` below is that shared state.  Listeners (Safe Sleep)
+are notified on every change so the sleep decision can be re-evaluated,
+exactly as the paper's ``updateNextReceive`` / ``updateNextSend`` pseudocode
+calls ``checkState()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class QueryTiming:
+    """Expected times for one query at one node."""
+
+    #: child node id -> expected reception time of its next data report.
+    next_receive: Dict[int, float] = field(default_factory=dict)
+    #: expected send time of the node's own next aggregated report, or
+    #: ``None`` for the root (which never sends).
+    next_send: Optional[float] = None
+
+
+class TimingTable:
+    """Per-node table of expected send and reception times.
+
+    The storage cost is proportional to the number of queries times the
+    node's degree in the routing tree, which is the localized-property
+    argument the paper makes for Safe Sleep's scalability.
+    """
+
+    def __init__(self) -> None:
+        self._queries: Dict[int, QueryTiming] = {}
+        self._listeners: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # subscriptions
+    # ------------------------------------------------------------------ #
+
+    def subscribe(self, listener: Callable[[], None]) -> None:
+        """Register ``listener`` to be called after every table change."""
+        self._listeners.append(listener)
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener()
+
+    # ------------------------------------------------------------------ #
+    # updates (called by the traffic shaper)
+    # ------------------------------------------------------------------ #
+
+    def set_next_receive(self, query_id: int, child: int, time: float) -> None:
+        """Record the expected reception time of ``child``'s next report."""
+        timing = self._queries.setdefault(query_id, QueryTiming())
+        timing.next_receive[child] = time
+        self._notify()
+
+    def set_next_send(self, query_id: int, time: float) -> None:
+        """Record the expected send time of the node's next aggregated report."""
+        timing = self._queries.setdefault(query_id, QueryTiming())
+        timing.next_send = time
+        self._notify()
+
+    def clear_next_send(self, query_id: int) -> None:
+        """Remove the send expectation (e.g. the node became the root)."""
+        timing = self._queries.get(query_id)
+        if timing is None or timing.next_send is None:
+            return
+        timing.next_send = None
+        self._notify()
+
+    def remove_child(self, query_id: int, child: int) -> None:
+        """Drop a child's expectation (the child failed or was re-parented)."""
+        timing = self._queries.get(query_id)
+        if timing is None or child not in timing.next_receive:
+            return
+        del timing.next_receive[child]
+        self._notify()
+
+    def remove_query(self, query_id: int) -> None:
+        """Drop every expectation of a finished query."""
+        if self._queries.pop(query_id, None) is not None:
+            self._notify()
+
+    # ------------------------------------------------------------------ #
+    # queries (read by Safe Sleep)
+    # ------------------------------------------------------------------ #
+
+    def next_receive(self, query_id: int, child: int) -> Optional[float]:
+        """Current expected reception time for ``(query, child)``, if any."""
+        timing = self._queries.get(query_id)
+        if timing is None:
+            return None
+        return timing.next_receive.get(child)
+
+    def next_send(self, query_id: int) -> Optional[float]:
+        """Current expected send time for ``query_id``, if any."""
+        timing = self._queries.get(query_id)
+        if timing is None:
+            return None
+        return timing.next_send
+
+    def query_ids(self) -> List[int]:
+        """Identifiers of all queries with at least one expectation."""
+        return sorted(self._queries)
+
+    def entries(self) -> List[Tuple[int, str, Optional[int], float]]:
+        """All expectations as ``(query_id, kind, child, time)`` tuples."""
+        result: List[Tuple[int, str, Optional[int], float]] = []
+        for query_id, timing in self._queries.items():
+            for child, time in timing.next_receive.items():
+                result.append((query_id, "receive", child, time))
+            if timing.next_send is not None:
+                result.append((query_id, "send", None, timing.next_send))
+        return result
+
+    def next_wakeup(self) -> Optional[float]:
+        """The paper's ``t_wakeup``: the minimum over every expectation.
+
+        Returns ``None`` when the node has no expectations at all (no queries
+        routed through it), in which case Safe Sleep leaves the radio alone.
+        """
+        times: List[float] = []
+        for timing in self._queries.values():
+            times.extend(timing.next_receive.values())
+            if timing.next_send is not None:
+                times.append(timing.next_send)
+        if not times:
+            return None
+        return min(times)
+
+    def is_empty(self) -> bool:
+        """Whether no expectations are stored at all."""
+        return self.next_wakeup() is None

@@ -1,0 +1,122 @@
+"""Network-lifetime estimation from per-node energy consumption.
+
+The paper motivates traffic shaping partly through energy *balance*: with
+NTS-SS "the nodes close to the root that have higher ranks will run out of
+energy faster than the others", limiting the lifetime of the network even
+when the average duty cycle looks acceptable.  These helpers turn the
+per-node energy figures collected during a run into battery-lifetime
+estimates so that protocols can be compared on time-to-first-death and
+time-to-partition rather than averages alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..routing.tree import RoutingTree
+from .metrics import RunMetrics
+
+#: Energy of two fresh AA cells, the typical MICA2 power budget (joules):
+#: 2 cells x 1.5 V x 2600 mAh x 3.6 C/mAh ~= 28,080 J.
+DEFAULT_BATTERY_CAPACITY_J = 2 * 1.5 * 2600 * 3.6
+
+
+@dataclass(frozen=True)
+class LifetimeEstimate:
+    """Battery-lifetime projection for one simulation run."""
+
+    #: Projected lifetime (seconds) of each node at its observed average power.
+    per_node_lifetime: Dict[int, float]
+    #: Time until the first node in the routing tree dies.
+    first_death: float
+    #: Time until a node whose death disconnects at least one source dies.
+    first_partition: float
+    #: The node projected to die first.
+    first_death_node: int
+
+    def lifetime_in_days(self) -> float:
+        """The time-to-first-death expressed in days."""
+        return self.first_death / 86400.0
+
+
+def estimate_lifetime(
+    metrics: RunMetrics,
+    tree: RoutingTree,
+    battery_capacity_j: float = DEFAULT_BATTERY_CAPACITY_J,
+    baseline_power_w: float = 0.0,
+) -> LifetimeEstimate:
+    """Project node lifetimes from a run's per-node energy consumption.
+
+    Each node's average radio power over the run is extrapolated to the
+    point where it exhausts ``battery_capacity_j``.  ``baseline_power_w``
+    adds a constant draw (CPU, sensors) on top of the radio.
+
+    ``first_partition`` is the earliest projected death of a non-leaf node:
+    in a tree, losing an interior node cuts off its whole subtree, which is
+    the failure mode the paper's rank analysis warns about.
+    """
+    if battery_capacity_j <= 0:
+        raise ValueError(f"battery capacity must be positive, got {battery_capacity_j!r}")
+    if metrics.duration <= 0:
+        raise ValueError("run duration must be positive to project lifetimes")
+
+    per_node: Dict[int, float] = {}
+    for node_id, energy in metrics.energy_per_node.items():
+        average_power = energy / metrics.duration + baseline_power_w
+        if average_power <= 0:
+            per_node[node_id] = float("inf")
+        else:
+            per_node[node_id] = battery_capacity_j / average_power
+
+    if not per_node:
+        raise ValueError("run metrics contain no per-node energy figures")
+
+    first_death_node = min(per_node, key=lambda node: (per_node[node], node))
+    first_death = per_node[first_death_node]
+    interior = [node for node in per_node if node in tree and not tree.is_leaf(node)]
+    if interior:
+        first_partition = min(per_node[node] for node in interior)
+    else:
+        first_partition = first_death
+    return LifetimeEstimate(
+        per_node_lifetime=per_node,
+        first_death=first_death,
+        first_partition=first_partition,
+        first_death_node=first_death_node,
+    )
+
+
+def lifetime_by_rank(
+    estimate: LifetimeEstimate, tree: RoutingTree
+) -> Dict[int, float]:
+    """Mean projected lifetime of the nodes at each rank.
+
+    For NTS-SS this decreases sharply with rank (the Figure 5 effect carried
+    through to lifetimes); for STS-SS/DTS-SS it stays roughly flat.
+    """
+    buckets: Dict[int, list] = {}
+    for node_id, lifetime in estimate.per_node_lifetime.items():
+        if node_id not in tree:
+            continue
+        buckets.setdefault(tree.rank(node_id), []).append(lifetime)
+    return {
+        rank: sum(values) / len(values) for rank, values in sorted(buckets.items())
+    }
+
+
+def compare_lifetimes(
+    estimates: Dict[str, LifetimeEstimate], reference: Optional[str] = None
+) -> Dict[str, float]:
+    """Time-to-first-death of each protocol, normalised to ``reference``.
+
+    With ``reference=None`` the raw first-death times (seconds) are returned.
+    """
+    if reference is None:
+        return {name: estimate.first_death for name, estimate in estimates.items()}
+    if reference not in estimates:
+        raise KeyError(f"reference protocol {reference!r} not among {sorted(estimates)}")
+    base = estimates[reference].first_death
+    if base <= 0:
+        raise ValueError("reference protocol has non-positive lifetime")
+    return {name: estimate.first_death / base for name, estimate in estimates.items()}

@@ -1,0 +1,222 @@
+"""Experiment runner: build a scenario, install a protocol, run, measure.
+
+The runner is the glue between the scenario configuration, the substrates
+(topology, network, routing tree), the protocol under test (one of the three
+ESSAT protocols or a baseline), the workload, and the metrics collector.
+Every figure-reproduction function in :mod:`repro.experiments.figures` is a
+thin loop over :func:`run_experiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.always_on import AlwaysOnSuite
+from ..baselines.psm import PsmSuite
+from ..baselines.span import SpanSuite
+from ..baselines.sync import SyncSuite
+from ..core.protocol import EssatProtocolSuite
+from ..net.node import Network, build_network
+from ..net.topology import Topology, generate_connected_random_topology
+from ..query.query import QuerySpec
+from ..query.workload import WorkloadSpec, generate_queries
+from ..routing.tree import RoutingTree, build_routing_tree
+from ..sim.engine import Simulator
+from ..sim.rng import RandomStreams
+from ..sim.trace import TraceRecorder
+from .config import ScenarioConfig
+from .metrics import DeliveryLog, RunMetrics, average_metrics, collect_metrics
+
+#: Protocols the runner knows how to install, in the paper's naming.
+ESSAT_PROTOCOLS = ("NTS-SS", "STS-SS", "DTS-SS")
+BASELINE_PROTOCOLS = ("SYNC", "PSM", "SPAN", "ALWAYS-ON")
+ALL_PROTOCOLS = ESSAT_PROTOCOLS + BASELINE_PROTOCOLS
+
+
+@dataclass
+class ExperimentResult:
+    """Everything produced by one (possibly replicated) experiment."""
+
+    protocol: str
+    scenario: ScenarioConfig
+    queries: List[QuerySpec]
+    metrics: RunMetrics
+    per_run_metrics: List[RunMetrics] = field(default_factory=list)
+    #: Optional extra outputs specific protocols expose (e.g. DTS overhead).
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def duty_cycle_interval(self, confidence: float = 0.9):
+        """Confidence interval of the average duty cycle over the replications."""
+        from .stats import interval_from_runs
+
+        return interval_from_runs(
+            self.per_run_metrics, lambda run: run.average_duty_cycle, confidence=confidence
+        )
+
+    def latency_interval(self, confidence: float = 0.9):
+        """Confidence interval of the average query latency over the replications."""
+        from .stats import interval_from_runs
+
+        return interval_from_runs(
+            self.per_run_metrics, lambda run: run.average_query_latency, confidence=confidence
+        )
+
+
+def build_protocol_suite(
+    protocol: str,
+    sim: Simulator,
+    network: Network,
+    tree: RoutingTree,
+    *,
+    on_root_delivery,
+    break_even_time: Optional[float] = None,
+):
+    """Instantiate the named protocol over an already-built network."""
+    name = protocol.upper()
+    if name in ("NTS-SS", "STS-SS", "DTS-SS"):
+        shaper = name.split("-")[0].lower()
+        return EssatProtocolSuite(
+            sim,
+            network,
+            tree,
+            shaper=shaper,
+            break_even_time=break_even_time,
+            on_root_delivery=on_root_delivery,
+        )
+    if name == "SYNC":
+        return SyncSuite(sim, network, tree, on_root_delivery=on_root_delivery)
+    if name == "PSM":
+        return PsmSuite(sim, network, tree, on_root_delivery=on_root_delivery)
+    if name == "SPAN":
+        return SpanSuite(sim, network, tree, on_root_delivery=on_root_delivery)
+    if name == "ALWAYS-ON":
+        return AlwaysOnSuite(sim, network, tree, on_root_delivery=on_root_delivery)
+    raise ValueError(f"unknown protocol {protocol!r}; expected one of {ALL_PROTOCOLS}")
+
+
+def build_scenario_topology(scenario: ScenarioConfig, seed: int) -> Topology:
+    """Random connected placement for one replication of ``scenario``."""
+    return generate_connected_random_topology(
+        num_nodes=scenario.num_nodes,
+        area=scenario.area,
+        comm_range=scenario.comm_range,
+        streams=RandomStreams(seed),
+    )
+
+
+def run_single(
+    scenario: ScenarioConfig,
+    protocol: str,
+    queries: Sequence[QuerySpec],
+    seed: int,
+    *,
+    topology: Optional[Topology] = None,
+) -> tuple[RunMetrics, Dict[str, float]]:
+    """Run one replication; returns its metrics and protocol-specific extras."""
+    sim = Simulator(seed=seed, trace=TraceRecorder(enabled=False))
+    if topology is None:
+        topology = build_scenario_topology(scenario, seed)
+    network = build_network(
+        sim,
+        topology,
+        power_profile=scenario.power_profile,
+        mac_config=scenario.mac_config,
+    )
+    tree = build_routing_tree(
+        topology,
+        root=topology.center_node(),
+        max_distance_from_root=scenario.max_distance_from_root,
+    )
+    deliveries = DeliveryLog()
+    suite = build_protocol_suite(
+        protocol,
+        sim,
+        network,
+        tree,
+        on_root_delivery=deliveries,
+        break_even_time=scenario.break_even_time,
+    )
+    suite.register_queries(queries)
+    sim.run(until=scenario.duration)
+    network.finalize()
+    metrics = collect_metrics(
+        protocol,
+        network,
+        tree,
+        deliveries,
+        queries,
+        scenario.duration,
+        measure_from=scenario.measure_from,
+    )
+    extras: Dict[str, float] = {}
+    overhead_fn = getattr(suite, "overhead_bits_per_report", None)
+    if overhead_fn is not None:
+        extras["overhead_bits_per_report"] = overhead_fn()
+    atims_fn = getattr(suite, "total_atims_sent", None)
+    if atims_fn is not None:
+        extras["atims_sent"] = float(atims_fn())
+    return metrics, extras
+
+
+def run_experiment(
+    scenario: ScenarioConfig,
+    protocol: str,
+    *,
+    workload: Optional[WorkloadSpec] = None,
+    queries: Optional[Sequence[QuerySpec]] = None,
+    num_runs: Optional[int] = None,
+) -> ExperimentResult:
+    """Run ``protocol`` under ``scenario`` for one workload, with replications.
+
+    Exactly one of ``workload`` (generated per replication with that
+    replication's seed, as in the paper where query start times vary per run)
+    or ``queries`` (fixed across replications) must be provided.
+    """
+    if (workload is None) == (queries is None):
+        raise ValueError("provide exactly one of `workload` or `queries`")
+    runs = num_runs if num_runs is not None else scenario.num_runs
+    per_run: List[RunMetrics] = []
+    per_run_extras: List[Dict[str, float]] = []
+    used_queries: List[QuerySpec] = []
+    for replication in range(runs):
+        seed = scenario.seed + replication
+        if workload is not None:
+            run_queries = generate_queries(workload, streams=RandomStreams(seed))
+        else:
+            run_queries = list(queries or [])
+        used_queries = list(run_queries)
+        metrics, extras = run_single(scenario, protocol, run_queries, seed)
+        per_run.append(metrics)
+        per_run_extras.append(extras)
+    combined = average_metrics(per_run)
+    extra_keys = {key for extras in per_run_extras for key in extras}
+    combined_extras = {
+        key: sum(extras.get(key, 0.0) for extras in per_run_extras) / len(per_run_extras)
+        for key in sorted(extra_keys)
+    }
+    return ExperimentResult(
+        protocol=protocol,
+        scenario=scenario,
+        queries=used_queries,
+        metrics=combined,
+        per_run_metrics=per_run,
+        extras=combined_extras,
+    )
+
+
+def run_protocol_comparison(
+    scenario: ScenarioConfig,
+    protocols: Sequence[str],
+    *,
+    workload: Optional[WorkloadSpec] = None,
+    queries: Optional[Sequence[QuerySpec]] = None,
+    num_runs: Optional[int] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run several protocols under the identical scenario and workload."""
+    return {
+        protocol: run_experiment(
+            scenario, protocol, workload=workload, queries=queries, num_runs=num_runs
+        )
+        for protocol in protocols
+    }

@@ -1,0 +1,83 @@
+"""Workload and sweep definitions matching the paper's evaluation (Section 5).
+
+Each figure uses one of two workload families:
+
+* **rate sweep** -- one query per class, base rate varied from 1 Hz to 5 Hz
+  (Figures 3, 6, 9; Figures 5 and 8 use the 5 Hz point),
+* **query-count sweep** -- base rate fixed at 0.2 Hz, number of queries per
+  class varied from 1 to 10 (Figures 4 and 7).
+
+The reduced-scale defaults trim the sweep points and the number of queries
+so that the whole figure suite runs in minutes; the paper's exact sweeps are
+used automatically when ``REPRO_FULL_SCALE=1``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..query.workload import WorkloadSpec
+from .config import full_scale_requested
+
+#: Base rates (Hz) of the paper's rate sweep.
+PAPER_BASE_RATES: Sequence[float] = (1.0, 2.0, 3.0, 4.0, 5.0)
+
+#: Base rates used at reduced scale (end points plus the middle).
+REDUCED_BASE_RATES: Sequence[float] = (1.0, 3.0, 5.0)
+
+#: Queries-per-class values of the paper's multi-query sweep.
+PAPER_QUERY_COUNTS: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+
+#: Queries-per-class values used at reduced scale.
+REDUCED_QUERY_COUNTS: Sequence[int] = (1, 4, 8)
+
+#: Query deadlines (seconds) swept in Figure 2.
+PAPER_DEADLINES: Sequence[float] = (0.04, 0.08, 0.12, 0.16, 0.2, 0.3, 0.4, 0.6, 0.8)
+
+#: Deadlines used at reduced scale.
+REDUCED_DEADLINES: Sequence[float] = (0.04, 0.12, 0.3, 0.6)
+
+#: Base rate of the multi-query sweep (Figures 4 and 7).
+MULTI_QUERY_BASE_RATE: float = 0.2
+
+#: Break-even times (seconds) swept in Figure 9: ideal, MICA2 typical,
+#: MICA2 worst case, ZebraNet.
+BREAK_EVEN_TIMES: Sequence[float] = (0.0, 0.0025, 0.010, 0.040)
+
+#: The paper's protocol sets per figure.
+DUTY_CYCLE_PROTOCOLS: Sequence[str] = ("DTS-SS", "STS-SS", "NTS-SS", "PSM", "SPAN")
+LATENCY_PROTOCOLS: Sequence[str] = ("DTS-SS", "STS-SS", "NTS-SS", "PSM", "SPAN", "SYNC")
+ESSAT_ONLY: Sequence[str] = ("DTS-SS", "STS-SS", "NTS-SS")
+
+
+def base_rates(full_scale: Optional[bool] = None) -> List[float]:
+    """The base-rate sweep for the current scale."""
+    full = full_scale_requested() if full_scale is None else full_scale
+    return list(PAPER_BASE_RATES if full else REDUCED_BASE_RATES)
+
+
+def query_counts(full_scale: Optional[bool] = None) -> List[int]:
+    """The queries-per-class sweep for the current scale."""
+    full = full_scale_requested() if full_scale is None else full_scale
+    return list(PAPER_QUERY_COUNTS if full else REDUCED_QUERY_COUNTS)
+
+
+def deadlines(full_scale: Optional[bool] = None) -> List[float]:
+    """The Figure 2 deadline sweep for the current scale."""
+    full = full_scale_requested() if full_scale is None else full_scale
+    return list(PAPER_DEADLINES if full else REDUCED_DEADLINES)
+
+
+def rate_sweep_workload(base_rate_hz: float, deadline: Optional[float] = None) -> WorkloadSpec:
+    """One query per class at the given base rate (Figures 3, 5, 6, 8, 9)."""
+    return WorkloadSpec(base_rate_hz=base_rate_hz, queries_per_class=1, deadline=deadline)
+
+
+def query_count_workload(queries_per_class: int) -> WorkloadSpec:
+    """``queries_per_class`` queries per class at the 0.2 Hz base rate (Figures 4, 7)."""
+    return WorkloadSpec(base_rate_hz=MULTI_QUERY_BASE_RATE, queries_per_class=queries_per_class)
+
+
+def deadline_sweep_workload(deadline: float, base_rate_hz: float = 5.0) -> WorkloadSpec:
+    """Three queries (one per class) with an explicit STS deadline (Figure 2)."""
+    return WorkloadSpec(base_rate_hz=base_rate_hz, queries_per_class=1, deadline=deadline)

@@ -1,0 +1,107 @@
+"""Replication statistics: means, spreads and confidence intervals.
+
+The paper reports 90 % confidence intervals over five replications for every
+data point (e.g. "the 90% confidence intervals of all protocols are within
+±2.3%").  These helpers compute the same quantities for
+:class:`~repro.experiments.runner.ExperimentResult` replications.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+try:  # scipy gives exact Student-t quantiles; fall back to a small table.
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - scipy is installed in this project
+    _scipy_stats = None
+
+#: Two-sided Student-t critical values for common confidence levels, indexed
+#: by degrees of freedom (used only when scipy is unavailable).
+_T_TABLE_90 = {1: 6.314, 2: 2.920, 3: 2.353, 4: 2.132, 5: 2.015, 6: 1.943, 7: 1.895, 8: 1.860, 9: 1.833}
+_T_TABLE_95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262}
+
+
+@dataclass(frozen=True)
+class IntervalEstimate:
+    """A mean with a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    samples: int
+
+    @property
+    def low(self) -> float:
+        """Lower bound of the confidence interval."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper bound of the confidence interval."""
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` falls inside the interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g} ({self.confidence:.0%} CI, n={self.samples})"
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator); 0 for fewer than 2 values."""
+    if len(values) < 2:
+        return 0.0
+    centre = mean(values)
+    return math.sqrt(sum((v - centre) ** 2 for v in values) / (len(values) - 1))
+
+
+def _t_critical(confidence: float, dof: int) -> float:
+    if dof <= 0:
+        return 0.0
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, dof))
+    table = _T_TABLE_90 if confidence <= 0.9 else _T_TABLE_95
+    return table.get(min(dof, max(table)), 1.7)
+
+
+def confidence_interval(values: Sequence[float], confidence: float = 0.9) -> IntervalEstimate:
+    """Student-t confidence interval of the mean of ``values``.
+
+    With a single replication the half-width is 0 (there is no spread
+    information), matching how single-run sweeps are reported.
+    """
+    if not values:
+        raise ValueError("cannot build a confidence interval from no samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence!r}")
+    centre = mean(values)
+    n = len(values)
+    if n == 1:
+        return IntervalEstimate(mean=centre, half_width=0.0, confidence=confidence, samples=1)
+    spread = sample_std(values)
+    half_width = _t_critical(confidence, n - 1) * spread / math.sqrt(n)
+    return IntervalEstimate(mean=centre, half_width=half_width, confidence=confidence, samples=n)
+
+
+def metric_interval(
+    per_run_values: Sequence[float], confidence: float = 0.9
+) -> IntervalEstimate:
+    """Alias of :func:`confidence_interval` named for experiment call sites."""
+    return confidence_interval(per_run_values, confidence=confidence)
+
+
+def interval_from_runs(
+    runs: Sequence[object], metric: Callable[[object], float], confidence: float = 0.9
+) -> IntervalEstimate:
+    """Confidence interval of ``metric(run)`` over a sequence of run objects."""
+    return confidence_interval([metric(run) for run in runs], confidence=confidence)

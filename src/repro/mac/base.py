@@ -1,0 +1,79 @@
+"""Abstract interface between the MAC layer and the layers around it.
+
+ESSAT is explicitly layered *between* the MAC protocol and the query service
+(Section 4): it hands frames down through this interface and receives frames
+and completion notifications back through the registered callbacks.  Keeping
+the interface abstract lets tests substitute an idealized MAC and lets the
+CSMA/CA implementation stay self-contained.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..net.packet import Packet
+from ..sim.units import mbps, us
+
+#: Upper-layer callback invoked for every frame delivered to this node:
+#: ``callback(packet)``.
+ReceiveCallback = Callable[[Packet], None]
+
+#: Upper-layer callback invoked when a send completes:
+#: ``callback(packet, success)``.
+SendDoneCallback = Callable[[Packet, bool], None]
+
+
+@dataclass(frozen=True)
+class MacConfig:
+    """Timing and behaviour parameters of the CSMA/CA MAC.
+
+    Defaults approximate IEEE 802.11b at 1 Mbps, the configuration used in
+    the paper's simulations.
+    """
+
+    bandwidth_bps: float = mbps(1)
+    slot_time: float = us(20)
+    sifs: float = us(10)
+    difs: float = us(50)
+    cw_min: int = 31
+    cw_max: int = 1023
+    max_retries: int = 5
+    use_acks: bool = True
+    queue_capacity: int = 50
+    #: Extra PHY/MAC header bytes added to every frame on the air.
+    header_bytes: int = 0
+    #: Additional slack allowed when waiting for an acknowledgement.
+    ack_timeout_slack_slots: int = 4
+
+    def frame_airtime(self, size_bytes: int) -> float:
+        """Serialization time of a frame of ``size_bytes`` payload bytes."""
+        total_bytes = size_bytes + self.header_bytes
+        return (total_bytes * 8) / self.bandwidth_bps
+
+
+class Mac(abc.ABC):
+    """Abstract MAC service interface."""
+
+    @abc.abstractmethod
+    def send(self, packet: Packet) -> bool:
+        """Queue ``packet`` for transmission; returns ``False`` on queue overflow."""
+
+    @abc.abstractmethod
+    def set_receive_callback(self, callback: ReceiveCallback) -> None:
+        """Register the upper-layer frame delivery callback."""
+
+    @abc.abstractmethod
+    def set_send_done_callback(self, callback: SendDoneCallback) -> None:
+        """Register the upper-layer send-completion callback."""
+
+    @property
+    @abc.abstractmethod
+    def has_pending(self) -> bool:
+        """Whether any frame is queued or currently being transmitted."""
+
+    @property
+    @abc.abstractmethod
+    def pending_count(self) -> int:
+        """Number of frames queued or in flight."""

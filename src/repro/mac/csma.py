@@ -1,0 +1,359 @@
+"""CSMA/CA MAC protocol.
+
+A simplified but behaviourally faithful CSMA/CA MAC in the spirit of IEEE
+802.11 DCF / the TinyOS CSMA MAC, providing exactly the properties ESSAT's
+design reacts to:
+
+* carrier sense before transmitting, with DIFS deference,
+* random slotted backoff with a contention window that doubles on failed
+  attempts -- the source of the one-hop delay jitter that accumulates over
+  multiple hops (Section 1 of the paper),
+* optional link-layer acknowledgements with bounded retransmission for
+  unicast frames,
+* cooperation with the radio power manager: when the radio is asleep the MAC
+  holds its queue and resumes on wake-up.
+
+The MAC never decides to power the radio down; that is the power manager's
+job (Safe Sleep or one of the baselines).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Set, Tuple
+
+from ..net.channel import WirelessChannel
+from ..net.packet import AckPacket, Packet
+from ..radio.radio import Radio
+from ..sim.engine import Simulator
+from ..sim.process import Timer
+from ..sim.rng import RandomStreams
+from .base import Mac, MacConfig, ReceiveCallback, SendDoneCallback
+from .queue import TransmitQueue
+from .stats import MacStats
+
+
+class _MacState(enum.Enum):
+    """Internal transmit-path state of the CSMA MAC."""
+
+    IDLE = "idle"
+    WAITING_FOR_RADIO = "waiting_for_radio"
+    DEFERRING = "deferring"
+    TRANSMITTING = "transmitting"
+    WAITING_FOR_ACK = "waiting_for_ack"
+
+
+@dataclass
+class _Outgoing:
+    """State of the frame currently being worked on."""
+
+    packet: Packet
+    enqueued_at: float
+    attempts: int = 0
+    cw: int = 0
+
+
+class CsmaMac(Mac):
+    """CSMA/CA MAC instance for one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        radio: Radio,
+        channel: WirelessChannel,
+        config: Optional[MacConfig] = None,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        self._sim = sim
+        self.node_id = node_id
+        self._radio = radio
+        self._channel = channel
+        self.config = config if config is not None else MacConfig()
+        rng_source = streams if streams is not None else sim.streams
+        self._rng = rng_source.get(f"mac.backoff.{node_id}")
+        self._queue = TransmitQueue(self.config.queue_capacity)
+        self._current: Optional[_Outgoing] = None
+        self._state = _MacState.IDLE
+        self._receive_callback: Optional[ReceiveCallback] = None
+        self._send_done_callback: Optional[SendDoneCallback] = None
+        self.stats = MacStats()
+        # Receiver-side duplicate suppression: a retransmission caused by a
+        # lost ACK must not be delivered to the upper layer twice.
+        self._seen_packet_ids: Set[Tuple[int, int]] = set()
+        self._seen_packet_order: Deque[Tuple[int, int]] = deque(maxlen=256)
+        # Acknowledgements scheduled (after SIFS) but not yet put on the air.
+        # Counted in has_pending so the power manager does not turn the radio
+        # off between a reception and its acknowledgement.
+        self._pending_acks = 0
+
+        self._attempt_timer = Timer(sim, self._on_attempt_timer, label=f"mac{node_id}.attempt")
+        self._ack_timer = Timer(sim, self._on_ack_timeout, label=f"mac{node_id}.ack_timeout")
+
+        channel.register(node_id, radio, self._on_phy_receive)
+        radio.on_wake(self._on_radio_wake)
+
+    # ------------------------------------------------------------------ #
+    # Mac interface
+    # ------------------------------------------------------------------ #
+
+    def set_receive_callback(self, callback: ReceiveCallback) -> None:
+        self._receive_callback = callback
+
+    def set_send_done_callback(self, callback: SendDoneCallback) -> None:
+        self._send_done_callback = callback
+
+    def send(self, packet: Packet) -> bool:
+        """Queue ``packet`` for transmission."""
+        accepted = self._queue.push(packet)
+        if not accepted:
+            self.stats.queue_drops += 1
+            self._notify_send_done(packet, False)
+            return False
+        self._sim.trace.emit(
+            self._sim.now,
+            "mac.enqueue",
+            node=self.node_id,
+            packet_id=packet.packet_id,
+            dst=packet.dst,
+            queue_len=len(self._queue),
+        )
+        self._maybe_start_next()
+        return True
+
+    @property
+    def has_pending(self) -> bool:
+        return self._current is not None or len(self._queue) > 0 or self._pending_acks > 0
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._queue) + (1 if self._current is not None else 0) + self._pending_acks
+
+    @property
+    def queue(self) -> TransmitQueue:
+        """The transmit queue (exposed for tests and metrics)."""
+        return self._queue
+
+    # ------------------------------------------------------------------ #
+    # transmit path
+    # ------------------------------------------------------------------ #
+
+    def _maybe_start_next(self) -> None:
+        if self._current is not None or self._state is not _MacState.IDLE:
+            return
+        packet = self._queue.pop()
+        if packet is None:
+            return
+        self._current = _Outgoing(
+            packet=packet, enqueued_at=self._sim.now, cw=self.config.cw_min
+        )
+        self._start_attempt()
+
+    def _start_attempt(self) -> None:
+        assert self._current is not None
+        if not self._radio.is_awake:
+            # The power manager has the radio off; resume when it wakes up.
+            self._state = _MacState.WAITING_FOR_RADIO
+            return
+        if not self._radio.can_transmit:
+            # The radio is busy receiving or transmitting; retry shortly
+            # after the channel clears.
+            self._defer(self._channel.time_until_idle(self.node_id) + self.config.difs)
+            return
+        if self._channel.is_busy(self.node_id):
+            # Defer until the medium clears, plus DIFS plus a random backoff.
+            self.stats.deferrals += 1
+            backoff = self._draw_backoff()
+            self._defer(self._channel.time_until_idle(self.node_id) + self.config.difs + backoff)
+            return
+        # Medium currently idle: wait DIFS plus a small initial backoff, then
+        # re-check and transmit.
+        backoff = self._draw_backoff(initial=True)
+        self._defer(self.config.difs + backoff)
+
+    def _defer(self, delay: float) -> None:
+        self._state = _MacState.DEFERRING
+        self._attempt_timer.start_in(max(delay, self.config.slot_time))
+
+    def _draw_backoff(self, initial: bool = False) -> float:
+        assert self._current is not None
+        self.stats.backoffs += 1
+        window = min(self._current.cw, self.config.cw_max)
+        if initial:
+            window = min(window, self.config.cw_min)
+        slots = self._rng.randint(0, window)
+        return slots * self.config.slot_time
+
+    def _on_attempt_timer(self) -> None:
+        if self._current is None:
+            self._state = _MacState.IDLE
+            self._maybe_start_next()
+            return
+        if not self._radio.is_awake:
+            self._state = _MacState.WAITING_FOR_RADIO
+            return
+        if not self._radio.can_transmit or self._channel.is_busy(self.node_id):
+            # Still busy: double the contention window and retry.
+            self._current.cw = min(self._current.cw * 2 + 1, self.config.cw_max)
+            self.stats.deferrals += 1
+            self._defer(
+                self._channel.time_until_idle(self.node_id)
+                + self.config.difs
+                + self._draw_backoff()
+            )
+            return
+        self._transmit_current()
+
+    def _transmit_current(self) -> None:
+        assert self._current is not None
+        packet = self._current.packet
+        self._current.attempts += 1
+        airtime = self.config.frame_airtime(packet.size_bytes)
+        self._state = _MacState.TRANSMITTING
+        self._channel.transmit(self.node_id, packet, airtime)
+        self._sim.trace.emit(
+            self._sim.now,
+            "mac.tx",
+            node=self.node_id,
+            packet_id=packet.packet_id,
+            dst=packet.dst,
+            attempt=self._current.attempts,
+        )
+        self._sim.schedule_in(airtime, self._on_tx_complete, label=f"mac{self.node_id}.tx_done")
+
+    def _on_tx_complete(self) -> None:
+        if self._current is None:
+            self._state = _MacState.IDLE
+            self._maybe_start_next()
+            return
+        packet = self._current.packet
+        self.stats.bytes_sent += packet.size_bytes
+        if packet.is_broadcast or not self.config.use_acks:
+            self.stats.frames_sent += 1
+            if packet.is_broadcast:
+                self.stats.broadcasts_sent += 1
+            self._complete_current(success=True)
+            return
+        # Unicast with acknowledgements: wait for the ACK.
+        self._state = _MacState.WAITING_FOR_ACK
+        ack_airtime = self.config.frame_airtime(AckPacket(src=0, dst=0).size_bytes)
+        timeout = (
+            self.config.sifs
+            + ack_airtime
+            + self.config.ack_timeout_slack_slots * self.config.slot_time
+        )
+        self._ack_timer.start_in(timeout)
+
+    def _on_ack_timeout(self) -> None:
+        if self._current is None or self._state is not _MacState.WAITING_FOR_ACK:
+            return
+        self._retry_or_fail()
+
+    def _retry_or_fail(self) -> None:
+        assert self._current is not None
+        if self._current.attempts > self.config.max_retries:
+            self.stats.send_failures += 1
+            self._complete_current(success=False)
+            return
+        self.stats.retransmissions += 1
+        self._current.cw = min(self._current.cw * 2 + 1, self.config.cw_max)
+        self._defer(self.config.difs + self._draw_backoff())
+
+    def _complete_current(self, success: bool) -> None:
+        assert self._current is not None
+        outgoing = self._current
+        self._current = None
+        self._state = _MacState.IDLE
+        self._ack_timer.cancel()
+        if success:
+            self.stats.record_access_delay(self._sim.now - outgoing.enqueued_at)
+        self._notify_send_done(outgoing.packet, success)
+        self._maybe_start_next()
+
+    def _notify_send_done(self, packet: Packet, success: bool) -> None:
+        if self._send_done_callback is not None:
+            self._send_done_callback(packet, success)
+
+    # ------------------------------------------------------------------ #
+    # receive path
+    # ------------------------------------------------------------------ #
+
+    def _on_phy_receive(self, packet: Packet, rx_start: float) -> None:
+        if isinstance(packet, AckPacket):
+            self._handle_ack(packet)
+            return
+        if packet.is_broadcast:
+            self.stats.frames_received += 1
+            self._deliver(packet)
+            return
+        if packet.dst != self.node_id:
+            # Overheard unicast frame destined elsewhere; ignore.
+            return
+        if self.config.use_acks:
+            self._send_ack(packet)
+        if self._is_duplicate(packet):
+            return
+        self.stats.frames_received += 1
+        self._deliver(packet)
+
+    def _handle_ack(self, ack: AckPacket) -> None:
+        if ack.dst != self.node_id:
+            return
+        if (
+            self._current is None
+            or self._state is not _MacState.WAITING_FOR_ACK
+            or ack.acked_packet_id != self._current.packet.packet_id
+        ):
+            return
+        self.stats.acks_received += 1
+        self._ack_timer.cancel()
+        self.stats.frames_sent += 1
+        self._complete_current(success=True)
+
+    def _send_ack(self, packet: Packet) -> None:
+        ack = AckPacket(
+            src=self.node_id,
+            dst=packet.src,
+            acked_packet_id=packet.packet_id,
+            created_at=self._sim.now,
+        )
+        self._pending_acks += 1
+        self._sim.schedule_in(self.config.sifs, self._transmit_ack, ack)
+
+    def _transmit_ack(self, ack: AckPacket) -> None:
+        self._pending_acks = max(0, self._pending_acks - 1)
+        if not self._radio.can_transmit:
+            # The radio is busy (e.g. another frame arrived); skip the ACK and
+            # let the sender retransmit.
+            return
+        airtime = self.config.frame_airtime(ack.size_bytes)
+        self._channel.transmit(self.node_id, ack, airtime)
+        self.stats.acks_sent += 1
+        self.stats.control_bytes_sent += ack.size_bytes
+
+    def _is_duplicate(self, packet: Packet) -> bool:
+        key = (packet.src, packet.packet_id)
+        if key in self._seen_packet_ids:
+            return True
+        if len(self._seen_packet_order) == self._seen_packet_order.maxlen:
+            oldest = self._seen_packet_order[0]
+            self._seen_packet_ids.discard(oldest)
+        self._seen_packet_order.append(key)
+        self._seen_packet_ids.add(key)
+        return False
+
+    def _deliver(self, packet: Packet) -> None:
+        if self._receive_callback is not None:
+            self._receive_callback(packet)
+
+    # ------------------------------------------------------------------ #
+    # power-manager cooperation
+    # ------------------------------------------------------------------ #
+
+    def _on_radio_wake(self) -> None:
+        if self._state is _MacState.WAITING_FOR_RADIO and self._current is not None:
+            self._start_attempt()
+        else:
+            self._maybe_start_next()

@@ -1,0 +1,70 @@
+"""Bounded FIFO transmit queue used by the MAC layer."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+from ..net.packet import Packet
+
+
+class TransmitQueue:
+    """A bounded FIFO of frames awaiting transmission.
+
+    Frames arriving when the queue is full are dropped and counted; sensor
+    platforms have very limited packet buffers, so overflow behaviour is part
+    of the model rather than an error.
+    """
+
+    def __init__(self, capacity: int = 50) -> None:
+        if capacity <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity!r}")
+        self.capacity = capacity
+        self._queue: Deque[Packet] = deque()
+        self.enqueued = 0
+        self.dropped_overflow = 0
+        self.high_watermark = 0
+
+    def push(self, packet: Packet) -> bool:
+        """Append ``packet``; returns ``False`` (and counts a drop) when full."""
+        if len(self._queue) >= self.capacity:
+            self.dropped_overflow += 1
+            return False
+        self._queue.append(packet)
+        self.enqueued += 1
+        self.high_watermark = max(self.high_watermark, len(self._queue))
+        return True
+
+    def push_front(self, packet: Packet) -> bool:
+        """Prepend ``packet`` (used to requeue a frame after a failed attempt)."""
+        if len(self._queue) >= self.capacity:
+            self.dropped_overflow += 1
+            return False
+        self._queue.appendleft(packet)
+        self.high_watermark = max(self.high_watermark, len(self._queue))
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        """Remove and return the head frame, or ``None`` when empty."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def peek(self) -> Optional[Packet]:
+        """Return the head frame without removing it, or ``None`` when empty."""
+        if not self._queue:
+            return None
+        return self._queue[0]
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._queue)
+
+    def clear(self) -> None:
+        """Drop every queued frame."""
+        self._queue.clear()

@@ -1,0 +1,58 @@
+"""Per-node MAC statistics counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class MacStats:
+    """Counters describing the MAC behaviour of one node."""
+
+    frames_sent: int = 0
+    frames_received: int = 0
+    broadcasts_sent: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    retransmissions: int = 0
+    send_failures: int = 0
+    backoffs: int = 0
+    deferrals: int = 0
+    queue_drops: int = 0
+    bytes_sent: int = 0
+    control_bytes_sent: int = 0
+    #: Cumulative time from a frame being handed to the MAC until its
+    #: transmission completed successfully (for average one-hop delay).
+    total_access_delay: float = 0.0
+    completed_transfers: int = 0
+
+    def record_access_delay(self, delay: float) -> None:
+        """Record the MAC access delay of one successfully sent frame."""
+        self.total_access_delay += delay
+        self.completed_transfers += 1
+
+    @property
+    def average_access_delay(self) -> float:
+        """Mean one-hop MAC access delay in seconds (0 when nothing sent)."""
+        if self.completed_transfers == 0:
+            return 0.0
+        return self.total_access_delay / self.completed_transfers
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of all counters, for logging and reports."""
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "broadcasts_sent": self.broadcasts_sent,
+            "acks_sent": self.acks_sent,
+            "acks_received": self.acks_received,
+            "retransmissions": self.retransmissions,
+            "send_failures": self.send_failures,
+            "backoffs": self.backoffs,
+            "deferrals": self.deferrals,
+            "queue_drops": self.queue_drops,
+            "bytes_sent": self.bytes_sent,
+            "control_bytes_sent": self.control_bytes_sent,
+            "average_access_delay": self.average_access_delay,
+        }

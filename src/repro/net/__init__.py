@@ -1,0 +1,54 @@
+"""Network substrate: packets, topology, wireless channel, nodes."""
+
+from .addresses import BROADCAST, is_broadcast, validate_node_id
+from .channel import ChannelStats, Transmission, WirelessChannel
+from .loss import NoLoss, PerLinkLoss, ScriptedLoss, UniformLoss
+from .node import Network, Node, build_network
+from .packet import (
+    ACK_BYTES,
+    CONTROL_BYTES,
+    DEFAULT_DATA_REPORT_BYTES,
+    AckPacket,
+    AdvertisementPacket,
+    AtimPacket,
+    BeaconPacket,
+    CoordinatorAnnouncement,
+    DataReportPacket,
+    Packet,
+    PhaseRequestPacket,
+    PhaseUpdatePacket,
+    SetupPacket,
+)
+from .topology import Position, Topology, generate_connected_random_topology
+
+__all__ = [
+    "BROADCAST",
+    "is_broadcast",
+    "validate_node_id",
+    "WirelessChannel",
+    "ChannelStats",
+    "Transmission",
+    "NoLoss",
+    "UniformLoss",
+    "PerLinkLoss",
+    "ScriptedLoss",
+    "Network",
+    "Node",
+    "build_network",
+    "Packet",
+    "DataReportPacket",
+    "AckPacket",
+    "SetupPacket",
+    "PhaseRequestPacket",
+    "PhaseUpdatePacket",
+    "BeaconPacket",
+    "AtimPacket",
+    "AdvertisementPacket",
+    "CoordinatorAnnouncement",
+    "DEFAULT_DATA_REPORT_BYTES",
+    "ACK_BYTES",
+    "CONTROL_BYTES",
+    "Position",
+    "Topology",
+    "generate_connected_random_topology",
+]

@@ -1,0 +1,25 @@
+"""Node addressing constants and helpers.
+
+Nodes are addressed by small non-negative integers assigned at topology
+construction time.  A single broadcast address is reserved for flooded
+control traffic (query setup requests, PSM beacons).
+"""
+
+from __future__ import annotations
+
+#: Destination address meaning "all neighbours in radio range".
+BROADCAST: int = -1
+
+
+def is_broadcast(address: int) -> bool:
+    """Whether ``address`` is the broadcast address."""
+    return address == BROADCAST
+
+
+def validate_node_id(node_id: int) -> int:
+    """Validate and return a unicast node identifier."""
+    if not isinstance(node_id, int):
+        raise TypeError(f"node id must be an int, got {type(node_id).__name__}")
+    if node_id < 0:
+        raise ValueError(f"node id must be non-negative, got {node_id}")
+    return node_id

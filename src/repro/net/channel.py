@@ -1,0 +1,245 @@
+"""The shared wireless broadcast medium.
+
+The channel implements the physical-layer behaviour that ESSAT's design
+depends on:
+
+* **broadcast within a disk** -- every awake, idle neighbour of the sender
+  locks onto a starting transmission,
+* **collisions** -- if a frame starts while a receiver is already locked onto
+  another frame, the first frame is corrupted at that receiver and the new
+  frame is not received either; this is what creates the contention-induced
+  delay jitter that accumulates over hops (Section 1),
+* **sleeping receivers miss frames** -- a frame addressed to a node whose
+  radio is off is simply lost at that node (the sender's MAC learns about it
+  through a missing acknowledgement),
+* **carrier sense** -- the MAC's CSMA behaviour queries
+  :meth:`WirelessChannel.is_busy`.
+
+Propagation delay over <= 125 m is below a microsecond and is ignored, as is
+capture; both are standard simplifications that do not affect the protocol
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..sim.engine import Simulator
+from ..sim.events import EventPriority
+from ..radio.radio import Radio
+from .loss import LossModel, NoLoss
+from .packet import Packet
+from .topology import Topology
+
+#: Signature of the callback a MAC registers to receive frames:
+#: ``callback(packet, rx_start_time)``.
+DeliveryCallback = Callable[[Packet, float], None]
+
+
+@dataclass
+class Transmission:
+    """Book-keeping for one frame currently on the air."""
+
+    sender: int
+    packet: Packet
+    start: float
+    end: float
+    #: receiver node id -> frame still intact at that receiver
+    receivers: Dict[int, bool] = field(default_factory=dict)
+
+
+class ChannelStats:
+    """Aggregate channel statistics for a simulation run."""
+
+    def __init__(self) -> None:
+        self.transmissions = 0
+        self.deliveries = 0
+        self.collisions = 0
+        self.missed_asleep = 0
+        self.dropped_by_loss_model = 0
+        self.dropped_from_failed_sender = 0
+        self.bytes_transmitted = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        return {
+            "transmissions": self.transmissions,
+            "deliveries": self.deliveries,
+            "collisions": self.collisions,
+            "missed_asleep": self.missed_asleep,
+            "dropped_by_loss_model": self.dropped_by_loss_model,
+            "dropped_from_failed_sender": self.dropped_from_failed_sender,
+            "bytes_transmitted": self.bytes_transmitted,
+        }
+
+
+class WirelessChannel:
+    """Shared broadcast medium connecting all node radios."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        loss_model: Optional[LossModel] = None,
+    ) -> None:
+        self._sim = sim
+        self._topology = topology
+        self._loss_model: LossModel = loss_model if loss_model is not None else NoLoss()
+        self._radios: Dict[int, Radio] = {}
+        self._delivery: Dict[int, DeliveryCallback] = {}
+        #: sender id -> its in-flight transmission
+        self._active: Dict[int, Transmission] = {}
+        #: receiver id -> the transmission it is currently locked onto
+        self._locked: Dict[int, Transmission] = {}
+        self.stats = ChannelStats()
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+
+    @property
+    def topology(self) -> Topology:
+        """The static topology used for connectivity decisions."""
+        return self._topology
+
+    def register(self, node_id: int, radio: Radio, deliver: DeliveryCallback) -> None:
+        """Attach a node's radio and MAC delivery callback to the channel."""
+        if node_id in self._radios:
+            raise ValueError(f"node {node_id} is already registered on the channel")
+        self._radios[node_id] = radio
+        self._delivery[node_id] = deliver
+
+    def unregister(self, node_id: int) -> None:
+        """Detach a node (permanent failure); in-flight frames to it are lost."""
+        self._radios.pop(node_id, None)
+        self._delivery.pop(node_id, None)
+        self._locked.pop(node_id, None)
+        self._active.pop(node_id, None)
+
+    def set_loss_model(self, loss_model: LossModel) -> None:
+        """Replace the loss model (used by failure-injection experiments)."""
+        self._loss_model = loss_model
+
+    # ------------------------------------------------------------------ #
+    # carrier sense
+    # ------------------------------------------------------------------ #
+
+    def is_busy(self, node_id: int) -> bool:
+        """Carrier sense at ``node_id``: is any in-range node transmitting?"""
+        if node_id in self._active:
+            return True
+        for sender in self._active:
+            if self._topology.in_range(sender, node_id):
+                return True
+        return False
+
+    def time_until_idle(self, node_id: int) -> float:
+        """Time until every in-range transmission has ended (0 if idle now)."""
+        latest = self._sim.now
+        for sender, transmission in self._active.items():
+            if sender == node_id or self._topology.in_range(sender, node_id):
+                latest = max(latest, transmission.end)
+        return max(0.0, latest - self._sim.now)
+
+    # ------------------------------------------------------------------ #
+    # transmission
+    # ------------------------------------------------------------------ #
+
+    def transmit(self, sender: int, packet: Packet, duration: float) -> Optional[Transmission]:
+        """Put ``packet`` on the air from ``sender`` for ``duration`` seconds.
+
+        The sender's radio must be idle; the MAC is responsible for carrier
+        sense and backoff before calling this.  A transmission from a node
+        that has been unregistered (it failed mid-operation) is silently
+        discarded -- a dead node cannot put energy on the air.
+        """
+        if sender not in self._radios:
+            self.stats.dropped_from_failed_sender += 1
+            return None
+        if duration <= 0:
+            raise ValueError(f"transmission duration must be positive, got {duration!r}")
+        radio = self._radios[sender]
+        radio.start_tx()
+        now = self._sim.now
+        transmission = Transmission(sender=sender, packet=packet, start=now, end=now + duration)
+        self._active[sender] = transmission
+        self.stats.transmissions += 1
+        self.stats.bytes_transmitted += packet.size_bytes
+        self._sim.trace.emit(
+            now,
+            "channel.tx_start",
+            node=sender,
+            packet_id=packet.packet_id,
+            dst=packet.dst,
+            size=packet.size_bytes,
+        )
+
+        for neighbor in self._topology.neighbors(sender):
+            neighbor_radio = self._radios.get(neighbor)
+            if neighbor_radio is None:
+                continue
+            if neighbor in self._locked:
+                # The neighbour is already receiving another frame: that frame
+                # is corrupted and this one is not receivable there either.
+                self._locked[neighbor].receivers[neighbor] = False
+                self.stats.collisions += 1
+                self._sim.trace.emit(
+                    now, "channel.collision", node=neighbor, packet_id=packet.packet_id
+                )
+                continue
+            if not neighbor_radio.can_receive:
+                # Asleep, transitioning, or itself transmitting.
+                if neighbor_radio.is_asleep:
+                    self.stats.missed_asleep += 1
+                continue
+            neighbor_radio.start_rx()
+            transmission.receivers[neighbor] = True
+            self._locked[neighbor] = transmission
+
+        self._sim.schedule_at(
+            transmission.end,
+            self._finish_transmission,
+            transmission,
+            priority=EventPriority.HIGH,
+            label=f"channel.tx_end.{packet.packet_id}",
+        )
+        return transmission
+
+    def _finish_transmission(self, transmission: Transmission) -> None:
+        sender_radio = self._radios.get(transmission.sender)
+        if sender_radio is not None:
+            sender_radio.end_tx()
+        self._active.pop(transmission.sender, None)
+        now = self._sim.now
+
+        for receiver, intact in transmission.receivers.items():
+            receiver_radio = self._radios.get(receiver)
+            if receiver_radio is None:
+                continue
+            if self._locked.get(receiver) is transmission:
+                del self._locked[receiver]
+                receiver_radio.end_rx()
+            if not intact:
+                continue
+            if self._loss_model.should_drop(transmission.sender, receiver, transmission.packet):
+                self.stats.dropped_by_loss_model += 1
+                self._sim.trace.emit(
+                    now,
+                    "channel.loss_model_drop",
+                    node=receiver,
+                    packet_id=transmission.packet.packet_id,
+                )
+                continue
+            deliver = self._delivery.get(receiver)
+            if deliver is None:
+                continue
+            self.stats.deliveries += 1
+            self._sim.trace.emit(
+                now,
+                "channel.delivery",
+                node=receiver,
+                packet_id=transmission.packet.packet_id,
+                src=transmission.sender,
+            )
+            deliver(transmission.packet, transmission.start)

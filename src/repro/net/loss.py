@@ -1,0 +1,98 @@
+"""Packet-loss models for failure injection.
+
+Section 4.3 of the paper analyses protocol behaviour under transient packet
+loss.  These models let experiments and tests inject loss independently of
+MAC-level collisions: the channel consults the loss model right before
+delivering a frame, so a dropped frame still costs the receiver the
+reception energy (the bits were on the air) but never reaches the MAC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Tuple
+
+from ..sim.rng import RandomStreams
+from .packet import Packet
+
+
+class LossModel(Protocol):
+    """Interface for packet-loss models used by the wireless channel."""
+
+    def should_drop(self, sender: int, receiver: int, packet: Packet) -> bool:
+        """Return ``True`` to silently drop this frame at ``receiver``."""
+        ...  # pragma: no cover - protocol definition
+
+
+class NoLoss:
+    """A loss model that never drops anything (the default)."""
+
+    def should_drop(self, sender: int, receiver: int, packet: Packet) -> bool:
+        return False
+
+
+class UniformLoss:
+    """Drop every frame independently with a fixed probability."""
+
+    def __init__(self, probability: float, streams: Optional[RandomStreams] = None) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {probability!r}")
+        self.probability = probability
+        self._rng = (streams or RandomStreams(0)).get("loss.uniform")
+        self.dropped = 0
+        self.delivered = 0
+
+    def should_drop(self, sender: int, receiver: int, packet: Packet) -> bool:
+        drop = self._rng.random() < self.probability
+        if drop:
+            self.dropped += 1
+        else:
+            self.delivered += 1
+        return drop
+
+
+class PerLinkLoss:
+    """Loss probabilities configured per directed link.
+
+    Links not present in the table use ``default`` probability.
+    """
+
+    def __init__(
+        self,
+        link_probabilities: Dict[Tuple[int, int], float],
+        default: float = 0.0,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        for link, probability in link_probabilities.items():
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(f"loss probability for link {link} must be in [0, 1]")
+        if not 0.0 <= default <= 1.0:
+            raise ValueError(f"default loss probability must be in [0, 1], got {default!r}")
+        self._table = dict(link_probabilities)
+        self._default = default
+        self._rng = (streams or RandomStreams(0)).get("loss.per_link")
+        self.dropped = 0
+
+    def should_drop(self, sender: int, receiver: int, packet: Packet) -> bool:
+        probability = self._table.get((sender, receiver), self._default)
+        drop = self._rng.random() < probability
+        if drop:
+            self.dropped += 1
+        return drop
+
+
+class ScriptedLoss:
+    """Drop exactly the frames selected by a user-supplied predicate.
+
+    Used in tests to drop, say, the 3rd data report of query 1 on one link
+    and verify DTS resynchronisation behaviour deterministically.
+    """
+
+    def __init__(self, predicate) -> None:
+        self._predicate = predicate
+        self.dropped = 0
+
+    def should_drop(self, sender: int, receiver: int, packet: Packet) -> bool:
+        drop = bool(self._predicate(sender, receiver, packet))
+        if drop:
+            self.dropped += 1
+        return drop

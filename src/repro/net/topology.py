@@ -1,0 +1,257 @@
+"""Node placement and radio connectivity.
+
+The paper's scenario places 80 nodes uniformly at random in a 500 x 500 m
+area with a 125 m communication range and roots the routing tree at the node
+closest to the centre (Section 5).  This module provides that placement plus
+grid/line placements used by tests, and exposes the resulting disk-graph
+connectivity both as neighbour sets and as a :mod:`networkx` graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class Position:
+    """A 2-D node position in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass
+class Topology:
+    """Static node placement plus disk-model connectivity.
+
+    Attributes
+    ----------
+    positions:
+        Mapping from node id to :class:`Position`.
+    comm_range:
+        Communication range in metres (disk model).
+    area:
+        ``(width, height)`` of the deployment area in metres.
+    """
+
+    positions: Dict[int, Position]
+    comm_range: float
+    area: Tuple[float, float] = (500.0, 500.0)
+    _neighbors: Dict[int, FrozenSet[int]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.comm_range <= 0:
+            raise ValueError(f"communication range must be positive, got {self.comm_range!r}")
+        self._rebuild_neighbors()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def random(
+        cls,
+        num_nodes: int,
+        area: Tuple[float, float] = (500.0, 500.0),
+        comm_range: float = 125.0,
+        streams: Optional[RandomStreams] = None,
+        seed: int = 0,
+    ) -> "Topology":
+        """Place ``num_nodes`` uniformly at random in ``area``.
+
+        Matches the paper's experimental setup when called with the default
+        arguments and ``num_nodes=80``.
+        """
+        if num_nodes <= 0:
+            raise ValueError(f"need at least one node, got {num_nodes}")
+        rng = (streams or RandomStreams(seed)).get("topology.placement")
+        width, height = area
+        positions = {
+            node_id: Position(rng.uniform(0.0, width), rng.uniform(0.0, height))
+            for node_id in range(num_nodes)
+        }
+        return cls(positions=positions, comm_range=comm_range, area=area)
+
+    @classmethod
+    def grid(
+        cls,
+        rows: int,
+        cols: int,
+        spacing: float,
+        comm_range: Optional[float] = None,
+    ) -> "Topology":
+        """Regular ``rows x cols`` grid with ``spacing`` metres between nodes.
+
+        The default communication range is 1.2 x spacing so that only the
+        four axis-aligned neighbours are connected (diagonals are at
+        1.41 x spacing and stay out of range).
+        """
+        if rows <= 0 or cols <= 0:
+            raise ValueError("grid dimensions must be positive")
+        if spacing <= 0:
+            raise ValueError("grid spacing must be positive")
+        positions = {}
+        node_id = 0
+        for row in range(rows):
+            for col in range(cols):
+                positions[node_id] = Position(col * spacing, row * spacing)
+                node_id += 1
+        if comm_range is None:
+            comm_range = spacing * 1.2
+        area = (max(1.0, (cols - 1) * spacing), max(1.0, (rows - 1) * spacing))
+        return cls(positions=positions, comm_range=comm_range, area=area)
+
+    @classmethod
+    def line(cls, num_nodes: int, spacing: float, comm_range: Optional[float] = None) -> "Topology":
+        """A line of ``num_nodes`` nodes; handy for multi-hop chain tests."""
+        return cls.grid(rows=1, cols=num_nodes, spacing=spacing, comm_range=comm_range)
+
+    @classmethod
+    def from_positions(
+        cls,
+        coordinates: Sequence[Tuple[float, float]],
+        comm_range: float,
+        area: Optional[Tuple[float, float]] = None,
+    ) -> "Topology":
+        """Build a topology from explicit ``(x, y)`` coordinates."""
+        positions = {i: Position(x, y) for i, (x, y) in enumerate(coordinates)}
+        if area is None:
+            width = max((p.x for p in positions.values()), default=1.0)
+            height = max((p.y for p in positions.values()), default=1.0)
+            area = (max(width, 1.0), max(height, 1.0))
+        return cls(positions=positions, comm_range=comm_range, area=area)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Sorted list of node identifiers."""
+        return sorted(self.positions)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the topology."""
+        return len(self.positions)
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance in metres between nodes ``a`` and ``b``."""
+        return self.positions[a].distance_to(self.positions[b])
+
+    def in_range(self, a: int, b: int) -> bool:
+        """Whether nodes ``a`` and ``b`` can hear each other (disk model)."""
+        if a == b:
+            return False
+        return self.distance(a, b) <= self.comm_range
+
+    def neighbors(self, node_id: int) -> FrozenSet[int]:
+        """Identifiers of all nodes within communication range of ``node_id``."""
+        return self._neighbors[node_id]
+
+    def center_node(self) -> int:
+        """The node closest to the centre of the deployment area.
+
+        The paper roots the routing tree at this node.
+        """
+        cx, cy = self.area[0] / 2.0, self.area[1] / 2.0
+        center = Position(cx, cy)
+        return min(self.node_ids, key=lambda n: (self.positions[n].distance_to(center), n))
+
+    def nodes_within(self, node_id: int, radius: float) -> List[int]:
+        """All nodes (excluding ``node_id``) within ``radius`` metres of it."""
+        origin = self.positions[node_id]
+        return [
+            other
+            for other in self.node_ids
+            if other != node_id and self.positions[other].distance_to(origin) <= radius
+        ]
+
+    def to_graph(self) -> nx.Graph:
+        """Connectivity as a :class:`networkx.Graph` (edges weighted by distance)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.node_ids)
+        for a in self.node_ids:
+            for b in self._neighbors[a]:
+                if a < b:
+                    graph.add_edge(a, b, weight=self.distance(a, b))
+        return graph
+
+    def is_connected(self) -> bool:
+        """Whether the connectivity graph is a single connected component."""
+        graph = self.to_graph()
+        if graph.number_of_nodes() == 0:
+            return True
+        return nx.is_connected(graph)
+
+    def connected_component_of(self, node_id: int) -> FrozenSet[int]:
+        """All nodes reachable from ``node_id`` over multi-hop links."""
+        graph = self.to_graph()
+        return frozenset(nx.node_connected_component(graph, node_id))
+
+    # ------------------------------------------------------------------ #
+    # mutation (used by failure-injection experiments)
+    # ------------------------------------------------------------------ #
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node (permanent failure) and refresh neighbour sets."""
+        if node_id not in self.positions:
+            raise KeyError(f"unknown node {node_id}")
+        del self.positions[node_id]
+        self._rebuild_neighbors()
+
+    def _rebuild_neighbors(self) -> None:
+        nodes = sorted(self.positions)
+        neighbor_map: Dict[int, set] = {node: set() for node in nodes}
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                if self.positions[a].distance_to(self.positions[b]) <= self.comm_range:
+                    neighbor_map[a].add(b)
+                    neighbor_map[b].add(a)
+        self._neighbors = {node: frozenset(others) for node, others in neighbor_map.items()}
+
+
+def generate_connected_random_topology(
+    num_nodes: int,
+    area: Tuple[float, float] = (500.0, 500.0),
+    comm_range: float = 125.0,
+    streams: Optional[RandomStreams] = None,
+    seed: int = 0,
+    max_attempts: int = 200,
+    require_connected_from: Optional[int] = None,
+) -> Topology:
+    """Draw random topologies until the connectivity requirement is met.
+
+    By default the whole graph must be connected; when
+    ``require_connected_from`` is given, only the component containing that
+    node must include every node (equivalent, but clearer at call sites that
+    care about the root).
+    """
+    base = streams or RandomStreams(seed)
+    for attempt in range(max_attempts):
+        candidate = Topology.random(
+            num_nodes=num_nodes,
+            area=area,
+            comm_range=comm_range,
+            streams=base.fork(attempt),
+        )
+        if require_connected_from is not None:
+            component = candidate.connected_component_of(require_connected_from)
+            if len(component) == num_nodes:
+                return candidate
+        elif candidate.is_connected():
+            return candidate
+    raise RuntimeError(
+        f"could not generate a connected topology with {num_nodes} nodes in "
+        f"{max_attempts} attempts; increase density or range"
+    )

@@ -1,0 +1,100 @@
+"""In-network aggregation functions.
+
+Every interior node of the routing tree aggregates its own sample (if it is
+a source) with the data reports received from its children before forwarding
+a single aggregated report to its parent (Section 3, following TAG [7]).
+
+Aggregates are carried as partial states so they compose correctly over the
+tree; e.g. AVG is a ``(sum, count)`` pair until it is finalized at the root.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+
+class AggregationFunction(enum.Enum):
+    """Supported aggregation operators."""
+
+    MIN = "min"
+    MAX = "max"
+    SUM = "sum"
+    COUNT = "count"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class PartialAggregate:
+    """A composable partial aggregation state.
+
+    ``value`` carries the running min/max/sum; ``count`` carries the number
+    of raw samples folded in (needed to finalize AVG and COUNT).
+    """
+
+    function: AggregationFunction
+    value: float
+    count: int
+
+    @classmethod
+    def from_sample(cls, function: AggregationFunction, sample: float) -> "PartialAggregate":
+        """Lift one raw sensor sample into a partial aggregate."""
+        if function is AggregationFunction.COUNT:
+            return cls(function, 1.0, 1)
+        return cls(function, float(sample), 1)
+
+    def merge(self, other: "PartialAggregate") -> "PartialAggregate":
+        """Combine two partial aggregates of the same function."""
+        if other.function is not self.function:
+            raise ValueError(
+                f"cannot merge aggregates of different functions: "
+                f"{self.function.value} and {other.function.value}"
+            )
+        count = self.count + other.count
+        if self.function is AggregationFunction.MIN:
+            value = min(self.value, other.value)
+        elif self.function is AggregationFunction.MAX:
+            value = max(self.value, other.value)
+        elif self.function in (AggregationFunction.SUM, AggregationFunction.COUNT, AggregationFunction.AVG):
+            value = self.value + other.value
+        else:  # pragma: no cover - exhaustive over the enum
+            raise ValueError(f"unknown aggregation function {self.function!r}")
+        return PartialAggregate(self.function, value, count)
+
+    def finalize(self) -> float:
+        """Produce the user-visible aggregate value."""
+        if self.function is AggregationFunction.AVG:
+            return self.value / self.count if self.count else 0.0
+        if self.function is AggregationFunction.COUNT:
+            return float(self.count)
+        return self.value
+
+    def as_wire_pair(self) -> Tuple[float, int]:
+        """The ``(value, count)`` pair carried inside a data report packet."""
+        return self.value, self.count
+
+    @classmethod
+    def from_wire_pair(
+        cls, function: AggregationFunction, value: float, count: int
+    ) -> "PartialAggregate":
+        """Reconstruct a partial aggregate from a received data report."""
+        return cls(function, value, count)
+
+
+def merge_all(
+    function: AggregationFunction, partials: Iterable[PartialAggregate]
+) -> PartialAggregate:
+    """Merge an iterable of partial aggregates (must be non-empty)."""
+    iterator = iter(partials)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise ValueError("cannot merge an empty collection of partial aggregates") from None
+    for partial in iterator:
+        result = result.merge(partial)
+    if result.function is not function:
+        raise ValueError(
+            f"merged aggregate has function {result.function.value}, expected {function.value}"
+        )
+    return result

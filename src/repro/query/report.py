@@ -1,0 +1,98 @@
+"""Application-level data reports and per-period collection state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from .aggregation import AggregationFunction, PartialAggregate
+
+
+@dataclass
+class DataReport:
+    """An application-level (possibly aggregated) data report.
+
+    This is the object the query service manipulates; when it is handed to
+    the MAC it is serialized into a
+    :class:`~repro.net.packet.DataReportPacket`.
+    """
+
+    query_id: int
+    report_index: int
+    aggregate: PartialAggregate
+    #: Nominal generation time phi + k * P of the samples folded in.
+    nominal_time: float
+    #: Earliest actual generation time among contributing samples.
+    generated_at: float
+    #: Number of distinct sources contributing to the aggregate.
+    contributing_sources: int = 1
+
+    @property
+    def value(self) -> float:
+        """The finalized aggregate value."""
+        return self.aggregate.finalize()
+
+
+@dataclass
+class CollectionState:
+    """Per-(query, period) collection state at one node.
+
+    Tracks which children have contributed their data report for period
+    ``k``, the running aggregate, and whether the node's own sample has been
+    folded in yet.
+    """
+
+    query_id: int
+    report_index: int
+    expected_children: Set[int]
+    function: AggregationFunction
+    own_sample_expected: bool = False
+    received_children: Set[int] = field(default_factory=set)
+    aggregate: Optional[PartialAggregate] = None
+    own_sample_received: bool = False
+    earliest_generated_at: Optional[float] = None
+    contributing_sources: int = 0
+    #: Whether the aggregated report for this period was already handed to
+    #: the shaper (normally or via timeout).
+    completed: bool = False
+
+    def add_own_sample(self, sample: PartialAggregate, generated_at: float) -> None:
+        """Fold in the node's own raw sample."""
+        self.own_sample_received = True
+        self._merge(sample, generated_at, sources=1)
+
+    def add_child_report(
+        self, child: int, partial: PartialAggregate, generated_at: float, sources: int
+    ) -> bool:
+        """Fold in a child's data report; returns ``False`` for duplicates."""
+        if child in self.received_children:
+            return False
+        self.received_children.add(child)
+        self._merge(partial, generated_at, sources=sources)
+        return True
+
+    def _merge(self, partial: PartialAggregate, generated_at: float, sources: int) -> None:
+        if self.aggregate is None:
+            self.aggregate = partial
+        else:
+            self.aggregate = self.aggregate.merge(partial)
+        if self.earliest_generated_at is None or generated_at < self.earliest_generated_at:
+            self.earliest_generated_at = generated_at
+        self.contributing_sources += sources
+
+    @property
+    def missing_children(self) -> Set[int]:
+        """Children whose report for this period has not arrived yet."""
+        return self.expected_children - self.received_children
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every expected contribution has arrived."""
+        if self.own_sample_expected and not self.own_sample_received:
+            return False
+        return not self.missing_children
+
+    @property
+    def has_any_contribution(self) -> bool:
+        """Whether at least one sample or child report has been folded in."""
+        return self.aggregate is not None

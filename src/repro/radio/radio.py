@@ -1,0 +1,319 @@
+"""Radio device state machine.
+
+The :class:`Radio` mediates between three parties:
+
+* the **power manager** (Safe Sleep, SYNC, PSM, SPAN, ...) which calls
+  :meth:`Radio.sleep`, :meth:`Radio.sleep_until` and :meth:`Radio.wake_up`,
+* the **MAC layer**, which marks transmissions and receptions via
+  :meth:`Radio.start_tx` / :meth:`Radio.end_tx` and the RX equivalents, and
+* the **wireless channel**, which queries :meth:`Radio.can_receive` and
+  :meth:`Radio.is_awake` when deciding packet delivery.
+
+All state residency is recorded in a :class:`DutyCycleTracker` so duty
+cycles, energy and sleep-interval histograms can be computed afterwards.
+State transitions honour the power profile's ``t_OFF->ON`` and ``t_ON->OFF``
+latencies, which is what makes the break-even-time experiments (Figure 9)
+meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.events import EventHandle, EventPriority
+from .duty_cycle import DutyCycleTracker
+from .energy import PowerProfile, break_even_time
+from .states import RadioState
+
+
+class RadioError(RuntimeError):
+    """Raised on invalid radio state transitions requested by callers."""
+
+
+class Radio:
+    """Radio hardware model for a single node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        profile: PowerProfile,
+        *,
+        start_awake: bool = True,
+    ) -> None:
+        self._sim = sim
+        self.node_id = node_id
+        self.profile = profile
+        self._state = RadioState.IDLE if start_awake else RadioState.OFF
+        self.tracker = DutyCycleTracker(profile, start_time=sim.now)
+        if not start_awake:
+            # The tracker starts in IDLE by construction; record the initial
+            # OFF state immediately so accounting is correct.
+            self.tracker.record_state(sim.now, RadioState.OFF)
+        self._wake_listeners: List[Callable[[], None]] = []
+        self._sleep_listeners: List[Callable[[], None]] = []
+        self._state_listeners: List[Callable[[RadioState, RadioState], None]] = []
+        self._pending_wake: Optional[EventHandle] = None
+        self._pending_transition: Optional[EventHandle] = None
+        self._wake_requested_during_turn_off = False
+        #: Number of times the radio was put to sleep.
+        self.sleep_count = 0
+        #: Number of times the radio completed a wake-up.
+        self.wake_count = 0
+        #: Number of sleep requests refused (busy or below break-even time).
+        self.refused_sleeps = 0
+
+    # ------------------------------------------------------------------ #
+    # state queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state(self) -> RadioState:
+        """Current radio state."""
+        return self._state
+
+    @property
+    def is_awake(self) -> bool:
+        """Whether the radio is fully powered (idle, receiving or transmitting)."""
+        return self._state in (RadioState.IDLE, RadioState.RX, RadioState.TX)
+
+    @property
+    def is_asleep(self) -> bool:
+        """Whether the radio is fully powered down."""
+        return self._state is RadioState.OFF
+
+    @property
+    def can_receive(self) -> bool:
+        """Whether a new incoming transmission can be locked onto right now."""
+        return self._state is RadioState.IDLE
+
+    @property
+    def can_transmit(self) -> bool:
+        """Whether the MAC may start a transmission right now."""
+        return self._state is RadioState.IDLE
+
+    @property
+    def break_even_time(self) -> float:
+        """Break-even time ``t_BE`` implied by the power profile (seconds)."""
+        return break_even_time(self.profile)
+
+    @property
+    def t_off_to_on(self) -> float:
+        """Wake-up transition latency in seconds."""
+        return self.profile.t_off_to_on
+
+    # ------------------------------------------------------------------ #
+    # listeners
+    # ------------------------------------------------------------------ #
+
+    def on_wake(self, listener: Callable[[], None]) -> None:
+        """Register ``listener`` to run every time the radio finishes waking up."""
+        self._wake_listeners.append(listener)
+
+    def on_sleep(self, listener: Callable[[], None]) -> None:
+        """Register ``listener`` to run every time the radio turns fully off."""
+        self._sleep_listeners.append(listener)
+
+    def on_state_change(self, listener: Callable[[RadioState, RadioState], None]) -> None:
+        """Register ``listener(old_state, new_state)`` for every state change."""
+        self._state_listeners.append(listener)
+
+    # ------------------------------------------------------------------ #
+    # power management interface
+    # ------------------------------------------------------------------ #
+
+    def sleep(self) -> bool:
+        """Turn the radio off now.
+
+        Returns ``True`` if the radio started turning off, ``False`` if the
+        request was refused because the radio is busy transmitting/receiving
+        or already off/turning off.
+        """
+        if self._state in (RadioState.OFF, RadioState.TURNING_OFF):
+            return False
+        if self._state in (RadioState.TX, RadioState.RX, RadioState.TURNING_ON):
+            self.refused_sleeps += 1
+            return False
+        self._cancel_pending_wake()
+        self.sleep_count += 1
+        if self.profile.t_on_to_off > 0:
+            self._set_state(RadioState.TURNING_OFF)
+            self._pending_transition = self._sim.schedule_in(
+                self.profile.t_on_to_off,
+                self._complete_turn_off,
+                priority=EventPriority.HIGH,
+                label=f"radio{self.node_id}.turn_off",
+            )
+        else:
+            self._complete_turn_off()
+        return True
+
+    def sleep_until(self, wake_time: float) -> bool:
+        """Sleep now and be fully awake again by ``wake_time``.
+
+        This implements the Safe Sleep contract: the wake-up transition is
+        started ``t_OFF->ON`` before ``wake_time`` so the radio is IDLE at
+        ``wake_time``.  The request is refused (returns ``False``) when the
+        interval is too short to fit both transitions.
+        """
+        now = self._sim.now
+        wake_start = wake_time - self.profile.t_off_to_on
+        if wake_start <= now + self.profile.t_on_to_off:
+            self.refused_sleeps += 1
+            return False
+        if not self.sleep():
+            return False
+        self._pending_wake = self._sim.schedule_at(
+            wake_start,
+            self.wake_up,
+            priority=EventPriority.HIGH,
+            label=f"radio{self.node_id}.scheduled_wake",
+        )
+        return True
+
+    @property
+    def scheduled_wake_time(self) -> Optional[float]:
+        """Time at which a pending :meth:`sleep_until` wake-up will complete.
+
+        ``None`` when no wake-up is scheduled (the radio is awake, or it was
+        put to sleep without a wake time).
+        """
+        if self._pending_wake is None or self._pending_wake.cancelled:
+            return None
+        return self._pending_wake.time + self.profile.t_off_to_on
+
+    def advance_wake(self, wake_time: float) -> None:
+        """Make sure the radio is fully awake by ``wake_time``.
+
+        Used when a new, earlier expectation appears while the radio is
+        asleep (e.g. a query registered at runtime): the pending wake-up is
+        moved forward, never delayed.  A no-op when the radio is already
+        awake or waking up.
+        """
+        if self._state not in (RadioState.OFF, RadioState.TURNING_OFF):
+            return
+        current = self.scheduled_wake_time
+        if current is not None and current <= wake_time:
+            return
+        self._cancel_pending_wake()
+        start = wake_time - self.profile.t_off_to_on
+        if start <= self._sim.now:
+            self.wake_up()
+            return
+        self._pending_wake = self._sim.schedule_at(
+            start,
+            self.wake_up,
+            priority=EventPriority.HIGH,
+            label=f"radio{self.node_id}.advanced_wake",
+        )
+
+    def wake_up(self) -> None:
+        """Start powering the radio on (no-op when already awake or waking)."""
+        if self._state in (RadioState.IDLE, RadioState.RX, RadioState.TX, RadioState.TURNING_ON):
+            return
+        self._cancel_pending_wake()
+        if self._state is RadioState.TURNING_OFF:
+            # Finish turning off first, then immediately wake up.
+            self._wake_requested_during_turn_off = True
+            return
+        if self.profile.t_off_to_on > 0:
+            self._set_state(RadioState.TURNING_ON)
+            self._pending_transition = self._sim.schedule_in(
+                self.profile.t_off_to_on,
+                self._complete_turn_on,
+                priority=EventPriority.HIGH,
+                label=f"radio{self.node_id}.turn_on",
+            )
+        else:
+            self._complete_turn_on()
+
+    # ------------------------------------------------------------------ #
+    # MAC interface
+    # ------------------------------------------------------------------ #
+
+    def start_tx(self) -> None:
+        """Enter the TX state (MAC is about to put a frame on the air)."""
+        if self._state is not RadioState.IDLE:
+            raise RadioError(
+                f"node {self.node_id}: cannot start TX from state {self._state.value}"
+            )
+        self._set_state(RadioState.TX)
+
+    def end_tx(self) -> None:
+        """Leave the TX state back to idle listening."""
+        if self._state is not RadioState.TX:
+            raise RadioError(
+                f"node {self.node_id}: cannot end TX from state {self._state.value}"
+            )
+        self._set_state(RadioState.IDLE)
+
+    def start_rx(self) -> None:
+        """Enter the RX state (channel delivered the start of a frame)."""
+        if self._state is not RadioState.IDLE:
+            raise RadioError(
+                f"node {self.node_id}: cannot start RX from state {self._state.value}"
+            )
+        self._set_state(RadioState.RX)
+
+    def end_rx(self) -> None:
+        """Leave the RX state back to idle listening."""
+        if self._state is not RadioState.RX:
+            raise RadioError(
+                f"node {self.node_id}: cannot end RX from state {self._state.value}"
+            )
+        self._set_state(RadioState.IDLE)
+
+    def abort_rx(self) -> None:
+        """Abort an in-progress reception (e.g. the radio is forced off)."""
+        if self._state is RadioState.RX:
+            self._set_state(RadioState.IDLE)
+
+    # ------------------------------------------------------------------ #
+    # finalization
+    # ------------------------------------------------------------------ #
+
+    def finalize(self) -> None:
+        """Close duty-cycle accounting at the current simulation time."""
+        self.tracker.close(self._sim.now)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _cancel_pending_wake(self) -> None:
+        if self._pending_wake is not None:
+            self._pending_wake.cancel()
+            self._pending_wake = None
+
+    def _complete_turn_off(self) -> None:
+        self._pending_transition = None
+        self._set_state(RadioState.OFF)
+        for listener in self._sleep_listeners:
+            listener()
+        if self._wake_requested_during_turn_off:
+            self._wake_requested_during_turn_off = False
+            self.wake_up()
+
+    def _complete_turn_on(self) -> None:
+        self._pending_transition = None
+        self._set_state(RadioState.IDLE)
+        self.wake_count += 1
+        for listener in self._wake_listeners:
+            listener()
+
+    def _set_state(self, new_state: RadioState) -> None:
+        if new_state is self._state:
+            return
+        self.tracker.record_state(self._sim.now, new_state)
+        self._sim.trace.emit(
+            self._sim.now,
+            "radio.state",
+            node=self.node_id,
+            old=self._state.value,
+            new=new_state.value,
+        )
+        old_state = self._state
+        self._state = new_state
+        for listener in self._state_listeners:
+            listener(old_state, new_state)

@@ -1,0 +1,54 @@
+"""Radio power states.
+
+The radio model distinguishes the states that matter for duty-cycle and
+break-even-time analysis (Section 4.1 of the paper and the Benini et al.
+survey it cites): the radio is either *off* (sleeping), *transitioning*
+between off and on, or *active*.  While active it may be idle-listening,
+receiving, or transmitting.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RadioState(enum.Enum):
+    """Power/activity state of a node's radio."""
+
+    #: Radio powered down.  No reception or carrier sense possible.
+    OFF = "off"
+    #: Waking up: powering on, takes ``t_off_to_on`` seconds.
+    TURNING_ON = "turning_on"
+    #: Going to sleep: powering down, takes ``t_on_to_off`` seconds.
+    TURNING_OFF = "turning_off"
+    #: Awake and listening to the channel, but not actively receiving.
+    IDLE = "idle"
+    #: Awake and locked onto an incoming transmission.
+    RX = "rx"
+    #: Awake and transmitting.
+    TX = "tx"
+
+
+#: States in which the node counts as *active* for duty-cycle purposes.  The
+#: paper defines duty cycle as "the percentage of time a node remains active
+#: during a query"; transition periods consume energy and are therefore
+#: counted as active as well.
+ACTIVE_STATES = frozenset(
+    {RadioState.TURNING_ON, RadioState.TURNING_OFF, RadioState.IDLE, RadioState.RX, RadioState.TX}
+)
+
+#: States in which the radio can begin receiving a new transmission.
+RECEPTION_CAPABLE_STATES = frozenset({RadioState.IDLE})
+
+#: States in which the radio can perform carrier sense.
+CARRIER_SENSE_CAPABLE_STATES = frozenset({RadioState.IDLE, RadioState.RX})
+
+
+def is_active(state: RadioState) -> bool:
+    """Whether ``state`` counts toward the node's active time (duty cycle)."""
+    return state in ACTIVE_STATES
+
+
+def is_asleep(state: RadioState) -> bool:
+    """Whether the radio is fully powered down in ``state``."""
+    return state is RadioState.OFF

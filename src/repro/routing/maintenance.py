@@ -1,0 +1,99 @@
+"""Routing-tree maintenance under node failures.
+
+Section 4.3 of the paper assigns tree repair to "the query service or
+routing protocol": when a node fails, its parent drops the dependency and
+its children find a new parent.  This module provides that substrate so the
+ESSAT maintenance experiments can exercise re-parenting and re-ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..net.topology import Topology
+from .tree import RoutingError, RoutingTree
+
+
+@dataclass
+class RepairResult:
+    """Outcome of repairing the tree after one node failure."""
+
+    failed_node: int
+    #: orphaned node -> the new parent it was attached to
+    reattached: Dict[int, int]
+    #: orphans (and their subtrees) that could not be reconnected
+    disconnected: List[int]
+    #: surviving nodes whose rank changed as a result of the repair
+    rank_changes: Dict[int, int]
+
+
+class TreeMaintenance:
+    """Repairs a :class:`RoutingTree` when nodes fail permanently."""
+
+    def __init__(self, tree: RoutingTree, topology: Topology) -> None:
+        self._tree = tree
+        self._topology = topology
+
+    @property
+    def tree(self) -> RoutingTree:
+        """The tree being maintained."""
+        return self._tree
+
+    def handle_node_failure(self, failed_node: int) -> RepairResult:
+        """Remove ``failed_node`` and re-attach its orphaned children.
+
+        Each orphan is re-parented to its best surviving neighbour: the one
+        with the smallest level that is not inside the orphan's own subtree.
+        The orphan's subtree keeps its internal structure.  Orphans with no
+        eligible neighbour stay disconnected and are reported as such.
+        """
+        if failed_node == self._tree.root:
+            raise RoutingError("cannot repair a failure of the root")
+        ranks_before = {node: self._tree.rank(node) for node in self._tree.nodes}
+
+        # Capture each orphan subtree's membership and internal edges before
+        # the failed node (and the subtrees) are detached.
+        orphan_members: Dict[int, Set[int]] = {}
+        orphan_edges: Dict[int, Dict[int, int]] = {}
+        for orphan in self._tree.children(failed_node):
+            members = set(self._tree.subtree(orphan))
+            orphan_members[orphan] = members
+            orphan_edges[orphan] = {
+                member: self._tree.parent[member] for member in members if member != orphan
+            }
+
+        orphans = self._tree.remove_node(failed_node)
+
+        reattached: Dict[int, int] = {}
+        disconnected: List[int] = []
+        for orphan in orphans:
+            excluded = orphan_members[orphan] | {failed_node}
+            new_parent = self._select_parent(orphan, exclude=excluded)
+            if new_parent is None:
+                disconnected.append(orphan)
+                continue
+            self._tree.attach_subtree(orphan, new_parent, orphan_edges[orphan])
+            reattached[orphan] = new_parent
+
+        rank_changes = {
+            node: self._tree.rank(node)
+            for node in self._tree.nodes
+            if node in ranks_before and ranks_before[node] != self._tree.rank(node)
+        }
+        return RepairResult(
+            failed_node=failed_node,
+            reattached=reattached,
+            disconnected=disconnected,
+            rank_changes=rank_changes,
+        )
+
+    def _select_parent(self, orphan: int, exclude: Set[int]) -> Optional[int]:
+        candidates = [
+            neighbor
+            for neighbor in self._topology.neighbors(orphan)
+            if neighbor in self._tree and neighbor not in exclude
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda n: (self._tree.level(n), n))

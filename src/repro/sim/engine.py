@@ -1,0 +1,274 @@
+"""The discrete-event simulation engine.
+
+The paper evaluates ESSAT in ns-2; this module provides the equivalent
+substrate: a deterministic, heap-based discrete-event simulator with
+
+* ``schedule_at`` / ``schedule_in`` / ``cancel`` primitives,
+* a monotonically non-decreasing simulation clock,
+* named pseudo-random streams (see :mod:`repro.sim.rng`) so that independent
+  model components (MAC backoff, node placement, query start times) draw from
+  independent, seed-stable streams,
+* a structured trace facility (see :mod:`repro.sim.trace`).
+
+The engine is intentionally simple and synchronous: callbacks run to
+completion and may schedule further events.  All of the network, MAC, radio,
+query-service and ESSAT protocol models are built on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+from .events import Event, EventHandle, EventPriority
+from .rng import RandomStreams
+from .trace import TraceRecorder
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the named random streams.  Two simulators created
+        with the same seed and the same model code execute identically.
+    trace:
+        Optional :class:`TraceRecorder`; if omitted a fresh recorder is
+        created (recording can be disabled on the recorder itself).
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None) -> None:
+        self._now: float = 0.0
+        self._heap: list[Event] = []
+        self._sequence: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+        self._processed_events: int = 0
+        self.streams = RandomStreams(seed)
+        self.trace = trace if trace is not None else TraceRecorder()
+
+    # ------------------------------------------------------------------ #
+    # clock
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events that have fired so far."""
+        return self._processed_events
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = EventPriority.NORMAL,
+        label: str = "",
+        **kwargs: Any,
+    ) -> EventHandle:
+        """Schedule ``callback(*args, **kwargs)`` at absolute time ``time``.
+
+        Scheduling in the past raises :class:`SimulationError`; scheduling at
+        exactly ``now`` is allowed and the event fires after the currently
+        executing callback returns.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time:.9f} before now={self._now:.9f}"
+            )
+        event = Event(
+            time=float(time),
+            priority=int(priority),
+            sequence=self._next_sequence(),
+            callback=callback,
+            args=args,
+            kwargs=kwargs,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = EventPriority.NORMAL,
+        label: str = "",
+        **kwargs: Any,
+    ) -> EventHandle:
+        """Schedule ``callback`` after a relative ``delay`` (seconds, >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event with negative delay {delay!r}")
+        return self.schedule_at(
+            self._now + delay, callback, *args, priority=priority, label=label, **kwargs
+        )
+
+    def _next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would advance strictly past this time.  Events
+            scheduled exactly at ``until`` are executed.  If omitted, run
+            until the event queue drains.
+        max_events:
+            Safety valve: stop after this many events have fired in this call.
+
+        Returns
+        -------
+        float
+            The simulation time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        fired_this_run = 0
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.time < self._now:
+                    raise SimulationError(
+                        "event queue corrupted: event in the past "
+                        f"({event.time:.9f} < {self._now:.9f})"
+                    )
+                self._now = event.time
+                event.fire()
+                self._processed_events += 1
+                fired_this_run += 1
+                if max_events is not None and fired_this_run >= max_events:
+                    break
+            if until is not None and not self._stopped and self._now < until:
+                # Advance the clock to the requested horizon even if the
+                # queue drained earlier, so metrics spanning [0, until] are
+                # well defined.
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Request that the current :meth:`run` stop after the current event."""
+        self._stopped = True
+
+    def peek_next_time(self) -> Optional[float]:
+        """Return the time of the next pending event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+
+    def call_every(
+        self,
+        period: float,
+        callback: Callable[[], Any],
+        *,
+        start: Optional[float] = None,
+        count: Optional[int] = None,
+        label: str = "",
+    ) -> "PeriodicHandle":
+        """Schedule ``callback`` every ``period`` seconds.
+
+        Returns a :class:`PeriodicHandle` that can cancel the recurrence.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period!r}")
+        handle = PeriodicHandle(self, period, callback, count=count, label=label)
+        first = self._now + period if start is None else start
+        handle._arm(first)
+        return handle
+
+    def drain(self, events: Iterable[EventHandle]) -> None:
+        """Cancel every handle in ``events`` (convenience for teardown)."""
+        for handle in events:
+            handle.cancel()
+
+
+class PeriodicHandle:
+    """Handle controlling a recurring callback created by :meth:`Simulator.call_every`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], Any],
+        count: Optional[int] = None,
+        label: str = "",
+    ) -> None:
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._remaining = count
+        self._label = label
+        self._cancelled = False
+        self._current: Optional[EventHandle] = None
+        self.fired = 0
+
+    def _arm(self, when: float) -> None:
+        if self._cancelled:
+            return
+        self._current = self._sim.schedule_at(when, self._fire, label=self._label)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fired += 1
+        self._callback()
+        if self._remaining is not None:
+            self._remaining -= 1
+            if self._remaining <= 0:
+                self._cancelled = True
+                return
+        self._arm(self._sim.now + self._period)
+
+    def cancel(self) -> None:
+        """Stop future firings; the currently scheduled one is cancelled too."""
+        self._cancelled = True
+        if self._current is not None:
+            self._current.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the recurrence has been cancelled or exhausted its count."""
+        return self._cancelled

@@ -1,0 +1,102 @@
+"""Event primitives for the discrete-event simulation engine.
+
+The engine schedules :class:`Event` objects on a priority queue keyed by
+``(time, priority, sequence)``.  The sequence number guarantees a total,
+deterministic ordering even when two events share the same timestamp and
+priority, which is essential for reproducible simulations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class EventPriority(enum.IntEnum):
+    """Tie-break priority for events scheduled at the same instant.
+
+    Lower values run first.  The default for ordinary callbacks is
+    :attr:`NORMAL`.  Radio/MAC bookkeeping that must observe a consistent
+    world state (e.g. a radio completing a state transition before a packet
+    delivery is attempted) uses :attr:`HIGH`, while end-of-simulation hooks
+    use :attr:`LOW`.
+    """
+
+    HIGH = 0
+    NORMAL = 1
+    LOW = 2
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events compare by ``(time, priority, sequence)`` so that they can be
+    stored directly in a heap.  The callback and its arguments are excluded
+    from comparison.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    kwargs: dict = field(compare=False, default_factory=dict)
+    cancelled: bool = field(compare=False, default=False)
+    label: str = field(compare=False, default="")
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled.
+
+        Cancelled events stay in the heap but are skipped when popped; this
+        is O(1) and avoids an expensive heap removal.
+        """
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Invoke the callback. The engine calls this; users normally don't."""
+        return self.callback(*self.args, **self.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = "cancelled" if self.cancelled else "pending"
+        return (
+            f"Event(t={self.time:.6f}, prio={self.priority}, seq={self.sequence}, "
+            f"cb={name}, {state})"
+        )
+
+
+class EventHandle:
+    """A lightweight, user-facing handle to a scheduled event.
+
+    Handles allow callers to cancel an event, or to query whether it is still
+    pending, without exposing the mutable :class:`Event` internals.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The simulation time at which the event is scheduled to fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    @property
+    def label(self) -> str:
+        """An optional human-readable label attached at scheduling time."""
+        return self._event.label
+
+    def cancel(self) -> None:
+        """Cancel the underlying event (idempotent)."""
+        self._event.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventHandle({self._event!r})"

@@ -1,0 +1,113 @@
+"""Structured trace recording for simulations.
+
+Model components emit trace records (radio state changes, packet
+transmissions, sleep decisions, phase shifts, ...) through a shared
+:class:`TraceRecorder`.  Metrics code and tests consume the records; the
+recorder can be disabled entirely for large benchmark runs, or filtered to a
+subset of categories to bound memory use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace record.
+
+    Attributes
+    ----------
+    time:
+        Simulation time at which the record was emitted.
+    category:
+        A dotted category string, e.g. ``"radio.state"`` or ``"mac.tx"``.
+    node:
+        Identifier of the emitting node, or ``None`` for global records.
+    data:
+        Arbitrary key/value payload.
+    """
+
+    time: float
+    category: str
+    node: Optional[int]
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` objects emitted by model components."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Optional[Iterable[str]] = None,
+        max_records: Optional[int] = None,
+    ) -> None:
+        self.enabled = enabled
+        self._categories: Optional[Set[str]] = set(categories) if categories else None
+        self._max_records = max_records
+        self._records: List[TraceRecord] = []
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # emission
+    # ------------------------------------------------------------------ #
+
+    def emit(
+        self, time: float, category: str, node: Optional[int] = None, **data: Any
+    ) -> None:
+        """Emit a record; a no-op when recording is disabled or filtered out."""
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        record = TraceRecord(time=time, category=category, node=node, data=data)
+        for listener in self._listeners:
+            listener(record)
+        if self._max_records is not None and len(self._records) >= self._max_records:
+            self.dropped += 1
+            return
+        self._records.append(record)
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked synchronously for every accepted record."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All recorded records, in emission order."""
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def filter(
+        self, category: Optional[str] = None, node: Optional[int] = None
+    ) -> List[TraceRecord]:
+        """Return records matching the given category and/or node."""
+        result = []
+        for record in self._records:
+            if category is not None and record.category != category:
+                continue
+            if node is not None and record.node != node:
+                continue
+            result.append(record)
+        return result
+
+    def categories(self) -> Set[str]:
+        """The set of categories observed so far."""
+        return {record.category for record in self._records}
+
+    def clear(self) -> None:
+        """Drop all recorded records (listeners stay subscribed)."""
+        self._records.clear()
+        self.dropped = 0

@@ -1,0 +1,86 @@
+"""Unit helpers for simulation quantities.
+
+All simulation code uses SI base units internally:
+
+* time in **seconds** (float),
+* distance in **meters** (float),
+* bandwidth in **bits per second** (float),
+* power in **watts** (float),
+* energy in **joules** (float).
+
+The helpers in this module exist so that scenario code can state parameters
+in the units the paper uses (milliseconds, Hz, kbps, ...) without sprinkling
+magic conversion factors around.
+"""
+
+from __future__ import annotations
+
+#: Number of bits in one byte; packet sizes in the paper are given in bytes.
+BITS_PER_BYTE = 8
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * 1e-3
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def seconds(value: float) -> float:
+    """Identity helper, used for symmetry in scenario definitions."""
+    return float(value)
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return value * 60.0
+
+
+def khz(value: float) -> float:
+    """Convert kilohertz to hertz."""
+    return value * 1e3
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return value * 1e6
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits per second to bits per second."""
+    return value * 1e3
+
+
+def bytes_to_bits(num_bytes: float) -> float:
+    """Convert a byte count to a bit count."""
+    return num_bytes * BITS_PER_BYTE
+
+
+def transmission_time(packet_bytes: float, bandwidth_bps: float) -> float:
+    """Time in seconds to serialize ``packet_bytes`` at ``bandwidth_bps``.
+
+    This is the pure serialization delay; MAC overheads (backoff, inter-frame
+    spaces, acknowledgements) are added by the MAC layer.
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError("bandwidth must be positive, got %r" % bandwidth_bps)
+    if packet_bytes < 0:
+        raise ValueError("packet size must be non-negative, got %r" % packet_bytes)
+    return bytes_to_bits(packet_bytes) / bandwidth_bps
+
+
+def period_from_rate(rate_hz: float) -> float:
+    """Return the period in seconds of a periodic source with rate ``rate_hz``."""
+    if rate_hz <= 0:
+        raise ValueError("rate must be positive, got %r" % rate_hz)
+    return 1.0 / rate_hz
+
+
+def rate_from_period(period_s: float) -> float:
+    """Return the rate in Hz of a periodic source with period ``period_s``."""
+    if period_s <= 0:
+        raise ValueError("period must be positive, got %r" % period_s)
+    return 1.0 / period_s

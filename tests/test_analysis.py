@@ -1,0 +1,110 @@
+"""Tests for the closed-form analysis of Equations 1-3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import (
+    AggregationCost,
+    estimate_aggregation_cost,
+    nts_duty_cycle,
+    nts_receive_time,
+    sts_optimal_deadline,
+    sts_query_latency,
+    sts_receive_time,
+)
+from repro.mac.base import MacConfig
+
+COST = AggregationCost(t_collect=0.02, t_comp=0.005)
+
+
+class TestEquation1:
+    def test_leaf_has_zero_receive_time(self) -> None:
+        assert nts_receive_time(0, COST) == 0.0
+
+    def test_rank_one_only_collects(self) -> None:
+        assert nts_receive_time(1, COST) == pytest.approx(COST.t_collect)
+
+    def test_grows_linearly_with_rank(self) -> None:
+        values = [nts_receive_time(d, COST) for d in range(1, 6)]
+        diffs = [b - a for a, b in zip(values, values[1:])]
+        for diff in diffs:
+            assert diff == pytest.approx(COST.t_agg)
+
+    def test_negative_rank_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            nts_receive_time(-1, COST)
+
+    def test_duty_cycle_prediction(self) -> None:
+        assert nts_duty_cycle(3, period=1.0, cost=COST) == pytest.approx(
+            nts_receive_time(3, COST)
+        )
+        assert nts_duty_cycle(50, period=0.001, cost=COST) == 1.0
+        with pytest.raises(ValueError):
+            nts_duty_cycle(1, period=0.0, cost=COST)
+
+
+class TestEquation2:
+    def test_latency_dominated_by_local_deadline_when_large(self) -> None:
+        assert sts_query_latency(4, 0.5, COST) == pytest.approx(2.0)
+
+    def test_latency_dominated_by_tagg_when_deadline_small(self) -> None:
+        assert sts_query_latency(4, 0.001, COST) == pytest.approx(4 * COST.t_agg)
+
+    def test_knee_at_local_deadline_equal_tagg(self) -> None:
+        knee = COST.t_agg
+        below = sts_query_latency(4, knee * 0.5, COST)
+        at = sts_query_latency(4, knee, COST)
+        above = sts_query_latency(4, knee * 2, COST)
+        assert below == pytest.approx(at)
+        assert above > at
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            sts_query_latency(-1, 0.1, COST)
+        with pytest.raises(ValueError):
+            sts_query_latency(3, -0.1, COST)
+
+
+class TestEquation3:
+    def test_leaf_has_zero_receive_time(self) -> None:
+        assert sts_receive_time(0.1, 0, COST) == 0.0
+
+    def test_small_deadline_behaves_like_nts(self) -> None:
+        assert sts_receive_time(0.0, 3, COST) == pytest.approx(nts_receive_time(3, COST))
+
+    def test_large_deadline_reduces_to_collect_time(self) -> None:
+        assert sts_receive_time(COST.t_agg * 2, 4, COST) == pytest.approx(COST.t_collect)
+
+    def test_monotonically_non_increasing_in_deadline(self) -> None:
+        deadlines = [i * 0.005 for i in range(12)]
+        values = [sts_receive_time(l, 4, COST) for l in deadlines]
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-12
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            sts_receive_time(0.1, -2, COST)
+        with pytest.raises(ValueError):
+            sts_receive_time(-0.1, 2, COST)
+
+
+class TestEstimation:
+    def test_estimate_scales_with_children(self) -> None:
+        one = estimate_aggregation_cost(1)
+        three = estimate_aggregation_cost(3)
+        assert three.t_collect == pytest.approx(3 * one.t_collect)
+
+    def test_estimate_uses_mac_parameters(self) -> None:
+        slow = estimate_aggregation_cost(2, MacConfig(bandwidth_bps=250e3))
+        fast = estimate_aggregation_cost(2, MacConfig(bandwidth_bps=2e6))
+        assert slow.t_collect > fast.t_collect
+
+    def test_estimate_validation(self) -> None:
+        with pytest.raises(ValueError):
+            estimate_aggregation_cost(-1)
+
+    def test_optimal_deadline(self) -> None:
+        assert sts_optimal_deadline(4, COST) == pytest.approx(4 * COST.t_agg)
+        with pytest.raises(ValueError):
+            sts_optimal_deadline(-1, COST)

@@ -1,0 +1,215 @@
+"""Tests for the wireless channel: delivery, collisions, sleep misses, loss models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.channel import WirelessChannel
+from repro.net.loss import NoLoss, PerLinkLoss, ScriptedLoss, UniformLoss
+from repro.net.packet import Packet
+from repro.net.topology import Topology
+from repro.radio.energy import IDEAL
+from repro.radio.radio import Radio
+from repro.radio.states import RadioState
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def _build_channel(topology: Topology, seed: int = 0):
+    """Build a channel with one radio per node and record deliveries per node."""
+    sim = Simulator(seed=seed)
+    channel = WirelessChannel(sim, topology)
+    radios = {}
+    inboxes = {node: [] for node in topology.node_ids}
+
+    for node_id in topology.node_ids:
+        radio = Radio(sim, node_id, IDEAL)
+        radios[node_id] = radio
+        channel.register(
+            node_id,
+            radio,
+            lambda packet, start, node=node_id: inboxes[node].append(packet),
+        )
+    return sim, channel, radios, inboxes
+
+
+class TestDelivery:
+    def test_unicast_delivered_to_all_awake_neighbors(self) -> None:
+        topo = Topology.line(3, spacing=100.0, comm_range=120.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        packet = Packet(src=1, dst=2, size_bytes=52)
+        sim.schedule_at(0.0, channel.transmit, 1, packet, 0.001)
+        sim.run()
+        # Both neighbours of node 1 hear the frame; addressing is the MAC's job.
+        assert len(inboxes[0]) == 1
+        assert len(inboxes[2]) == 1
+        assert inboxes[1] == []
+        assert channel.stats.deliveries == 2
+
+    def test_out_of_range_node_does_not_receive(self) -> None:
+        topo = Topology.line(3, spacing=100.0, comm_range=120.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        sim.schedule_at(0.0, channel.transmit, 0, Packet(src=0, dst=2), 0.001)
+        sim.run()
+        assert inboxes[2] == []
+        assert len(inboxes[1]) == 1
+
+    def test_sleeping_receiver_misses_frame(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        radios[1].sleep()
+        sim.schedule_at(0.0, channel.transmit, 0, Packet(src=0, dst=1), 0.001)
+        sim.run()
+        assert inboxes[1] == []
+        assert channel.stats.missed_asleep == 1
+
+    def test_receiver_radio_goes_through_rx_state(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        sim.schedule_at(0.0, channel.transmit, 0, Packet(src=0, dst=1), 0.01)
+        sim.run(until=0.005)
+        assert radios[1].state is RadioState.RX
+        sim.run(until=0.02)
+        assert radios[1].state is RadioState.IDLE
+        radios[1].finalize()
+        assert radios[1].tracker.time_in_state(RadioState.RX) == pytest.approx(0.01)
+
+    def test_transmitter_cannot_receive_its_own_frame(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        sim.schedule_at(0.0, channel.transmit, 0, Packet(src=0, dst=1), 0.001)
+        sim.run()
+        assert inboxes[0] == []
+
+    def test_transmit_from_unregistered_node_is_discarded(self) -> None:
+        # A node that failed (was unregistered) cannot put energy on the air;
+        # its transmissions vanish instead of crashing the simulation.
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        assert channel.transmit(99, Packet(src=99, dst=0), 0.001) is None
+        assert channel.stats.dropped_from_failed_sender == 1
+        sim.run()
+        assert inboxes[0] == []
+
+    def test_failed_node_mid_operation_does_not_crash_senders(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        channel.unregister(0)
+        # Node 0 (now failed) still tries to transmit; nothing happens.
+        sim.schedule_at(0.0, channel.transmit, 0, Packet(src=0, dst=1), 0.001)
+        sim.run()
+        assert inboxes[1] == []
+
+    def test_nonpositive_duration_raises(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        with pytest.raises(ValueError):
+            channel.transmit(0, Packet(src=0, dst=1), 0.0)
+
+    def test_unregistered_receiver_is_skipped(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        channel.unregister(1)
+        sim.schedule_at(0.0, channel.transmit, 0, Packet(src=0, dst=1), 0.001)
+        sim.run()
+        assert inboxes[1] == []
+
+
+class TestCollisions:
+    def test_overlapping_transmissions_collide_at_common_receiver(self) -> None:
+        # 0 and 2 are both in range of 1 but not of each other (hidden terminals).
+        topo = Topology.line(3, spacing=100.0, comm_range=120.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        sim.schedule_at(0.0, channel.transmit, 0, Packet(src=0, dst=1), 0.002)
+        sim.schedule_at(0.001, channel.transmit, 2, Packet(src=2, dst=1), 0.002)
+        sim.run()
+        assert inboxes[1] == []
+        assert channel.stats.collisions >= 1
+
+    def test_non_overlapping_transmissions_both_delivered(self) -> None:
+        topo = Topology.line(3, spacing=100.0, comm_range=120.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        sim.schedule_at(0.0, channel.transmit, 0, Packet(src=0, dst=1), 0.001)
+        sim.schedule_at(0.005, channel.transmit, 2, Packet(src=2, dst=1), 0.001)
+        sim.run()
+        assert len(inboxes[1]) == 2
+        assert channel.stats.collisions == 0
+
+
+class TestCarrierSense:
+    def test_is_busy_when_neighbor_transmits(self) -> None:
+        topo = Topology.line(3, spacing=100.0, comm_range=120.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        assert not channel.is_busy(1)
+        sim.schedule_at(0.0, channel.transmit, 0, Packet(src=0, dst=1), 0.01)
+        sim.run(until=0.005)
+        assert channel.is_busy(1)
+        assert channel.is_busy(0)
+        # Node 2 is out of range of node 0 and senses an idle medium.
+        assert not channel.is_busy(2)
+        sim.run(until=0.02)
+        assert not channel.is_busy(1)
+
+    def test_time_until_idle(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        sim.schedule_at(0.0, channel.transmit, 0, Packet(src=0, dst=1), 0.01)
+        sim.run(until=0.004)
+        assert channel.time_until_idle(1) == pytest.approx(0.006)
+        assert channel.time_until_idle(0) == pytest.approx(0.006)
+
+
+class TestLossModels:
+    def test_no_loss_never_drops(self) -> None:
+        model = NoLoss()
+        assert not model.should_drop(0, 1, Packet(src=0, dst=1))
+
+    def test_uniform_loss_probability_bounds(self) -> None:
+        with pytest.raises(ValueError):
+            UniformLoss(1.5)
+        always = UniformLoss(1.0, streams=RandomStreams(0))
+        assert always.should_drop(0, 1, Packet(src=0, dst=1))
+        never = UniformLoss(0.0, streams=RandomStreams(0))
+        assert not never.should_drop(0, 1, Packet(src=0, dst=1))
+
+    def test_per_link_loss(self) -> None:
+        model = PerLinkLoss({(0, 1): 1.0}, default=0.0, streams=RandomStreams(0))
+        assert model.should_drop(0, 1, Packet(src=0, dst=1))
+        assert not model.should_drop(1, 0, Packet(src=1, dst=0))
+
+    def test_per_link_loss_validation(self) -> None:
+        with pytest.raises(ValueError):
+            PerLinkLoss({(0, 1): 2.0})
+        with pytest.raises(ValueError):
+            PerLinkLoss({}, default=-0.1)
+
+    def test_scripted_loss_drops_selected_frames(self) -> None:
+        model = ScriptedLoss(lambda src, dst, packet: packet.packet_id % 2 == 0)
+        even = Packet(src=0, dst=1)
+        odd = Packet(src=0, dst=1)
+        results = {packet.packet_id % 2: model.should_drop(0, 1, packet) for packet in (even, odd)}
+        assert results[0] is True
+        assert results[1] is False
+
+    def test_channel_applies_loss_model(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim = Simulator(seed=0)
+        channel = WirelessChannel(sim, topo, loss_model=UniformLoss(1.0, streams=RandomStreams(0)))
+        inbox = []
+        radio0 = Radio(sim, 0, IDEAL)
+        radio1 = Radio(sim, 1, IDEAL)
+        channel.register(0, radio0, lambda p, t: None)
+        channel.register(1, radio1, lambda p, t: inbox.append(p))
+        sim.schedule_at(0.0, channel.transmit, 0, Packet(src=0, dst=1), 0.001)
+        sim.run()
+        assert inbox == []
+        assert channel.stats.dropped_by_loss_model == 1
+
+    def test_stats_as_dict(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        sim.schedule_at(0.0, channel.transmit, 0, Packet(src=0, dst=1, size_bytes=52), 0.001)
+        sim.run()
+        stats = channel.stats.as_dict()
+        assert stats["transmissions"] == 1
+        assert stats["bytes_transmitted"] == 52

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import FIGURES, SCALES, build_parser, main
+
+
+class TestParser:
+    def test_known_scales_and_figures(self) -> None:
+        assert set(SCALES) == {"smoke", "reduced", "paper"}
+        assert {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "overhead"} <= set(
+            FIGURES
+        )
+
+    def test_parser_requires_a_command(self) -> None:
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_parser_rejects_unknown_figure(self) -> None:
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure", "fig99"])
+
+    def test_parser_accepts_scale_and_runs(self) -> None:
+        args = build_parser().parse_args(["--scale", "smoke", "--runs", "2", "figure", "fig3"])
+        assert args.scale == "smoke"
+        assert args.runs == 2
+        assert args.name == "fig3"
+
+
+class TestCommands:
+    def test_list_command(self) -> None:
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        assert "fig3" in text and "DTS-SS" in text and "smoke" in text
+
+    def test_figure_command_smoke_scale(self) -> None:
+        out = io.StringIO()
+        code = main(["--scale", "smoke", "--runs", "1", "figure", "fig5"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "Figure 5" in text
+        assert "NTS-SS" in text
+
+    def test_overhead_figure_command(self) -> None:
+        out = io.StringIO()
+        code = main(["--scale", "smoke", "--runs", "1", "figure", "overhead"], out=out)
+        assert code == 0
+        assert "bits/report" in out.getvalue()
+
+    def test_compare_command(self) -> None:
+        out = io.StringIO()
+        code = main(
+            [
+                "--scale",
+                "smoke",
+                "--runs",
+                "1",
+                "compare",
+                "--base-rate",
+                "1.0",
+                "--protocols",
+                "DTS-SS",
+                "SPAN",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "DTS-SS" in text and "SPAN" in text
+        assert "duty_cycle_%" in text and "lifetime_days" in text

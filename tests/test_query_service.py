@@ -1,0 +1,236 @@
+"""Integration tests for the query service over the simulated network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.loss import ScriptedLoss
+from repro.net.node import Network, build_network
+from repro.net.packet import DataReportPacket
+from repro.net.topology import Topology
+from repro.query.aggregation import AggregationFunction
+from repro.query.query import QuerySpec, SourceSelection
+from repro.query.service import GreedySendPolicy, QueryService
+from repro.radio.energy import IDEAL
+from repro.routing.tree import build_routing_tree
+from repro.sim.engine import Simulator
+
+
+def build_query_network(
+    topology: Topology,
+    root: int | None = None,
+    seed: int = 0,
+    loss_model=None,
+):
+    """Wire a network, routing tree and per-node query services together."""
+    sim = Simulator(seed=seed)
+    network = build_network(sim, topology, power_profile=IDEAL, loss_model=loss_model)
+    tree = build_routing_tree(topology, root=root)
+    deliveries: list[tuple[int, int, float, float, int]] = []
+
+    def on_root_delivery(query_id, k, report, completed_at):
+        deliveries.append((query_id, k, report.value, completed_at, report.contributing_sources))
+
+    services = {}
+    for node_id in tree.nodes:
+        services[node_id] = QueryService(
+            sim,
+            network.node(node_id),
+            tree,
+            policy=GreedySendPolicy(),
+            on_root_delivery=on_root_delivery,
+        )
+    return sim, network, tree, services, deliveries
+
+
+class TestSingleHop:
+    def test_leaf_reports_reach_root(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, network, tree, services, deliveries = build_query_network(topo, root=0)
+        query = QuerySpec(query_id=1, period=1.0, start_time=0.5, duration=3.0)
+        for service in services.values():
+            service.register_query(query)
+        sim.run(until=5.0)
+        # Reports at t = 0.5, 1.5, 2.5, 3.5 (duration ends at 3.5).
+        assert len(deliveries) == 4
+        ks = [entry[1] for entry in deliveries]
+        assert ks == [0, 1, 2, 3]
+
+    def test_aggregate_value_is_average_of_leaf_ids(self) -> None:
+        # Star: root 0 with leaves 1 and 2.
+        topo = Topology.from_positions([(0, 0), (60, 0), (0, 60)], comm_range=80.0)
+        sim, network, tree, services, deliveries = build_query_network(topo, root=0)
+        query = QuerySpec(
+            query_id=1, period=1.0, start_time=0.0, duration=1.5,
+            aggregation=AggregationFunction.AVG,
+        )
+        for service in services.values():
+            service.register_query(query)
+        sim.run(until=4.0)
+        assert deliveries
+        # Default sample value is the node id, so AVG over leaves {1, 2} is 1.5.
+        assert deliveries[0][2] == pytest.approx(1.5)
+        assert deliveries[0][4] == 2  # contributing sources
+
+
+class TestMultiHop:
+    def test_chain_aggregation_counts_all_leaf_sources(self) -> None:
+        topo = Topology.line(4, spacing=100.0, comm_range=120.0)
+        sim, network, tree, services, deliveries = build_query_network(topo, root=0)
+        # Only node 3 is a leaf in the chain; use ALL_NODES to exercise
+        # interior sources as well.
+        query = QuerySpec(
+            query_id=1,
+            period=1.0,
+            start_time=0.0,
+            duration=2.5,
+            sources=SourceSelection.ALL_NODES,
+            aggregation=AggregationFunction.COUNT,
+        )
+        for service in services.values():
+            service.register_query(query)
+        sim.run(until=6.0)
+        assert deliveries
+        # All four nodes contribute a sample each period.
+        assert deliveries[0][2] == pytest.approx(4.0)
+
+    def test_latency_increases_with_depth(self) -> None:
+        shallow_topo = Topology.line(2, spacing=100.0, comm_range=120.0)
+        deep_topo = Topology.line(5, spacing=100.0, comm_range=120.0)
+        latencies = {}
+        for name, topo in (("shallow", shallow_topo), ("deep", deep_topo)):
+            sim, network, tree, services, deliveries = build_query_network(topo, root=0)
+            query = QuerySpec(query_id=1, period=1.0, start_time=0.0, duration=4.0)
+            for service in services.values():
+                service.register_query(query)
+            sim.run(until=8.0)
+            assert deliveries
+            latencies[name] = max(done - query.report_time(k) for _, k, _, done, _ in deliveries)
+        assert latencies["deep"] > latencies["shallow"]
+
+    def test_multiple_queries_run_concurrently(self) -> None:
+        topo = Topology.line(3, spacing=100.0, comm_range=120.0)
+        sim, network, tree, services, deliveries = build_query_network(topo, root=0)
+        q1 = QuerySpec(query_id=1, period=0.5, start_time=0.0, duration=2.0)
+        q2 = QuerySpec(query_id=2, period=1.0, start_time=0.3, duration=2.0)
+        for service in services.values():
+            service.register_query(q1)
+            service.register_query(q2)
+        sim.run(until=5.0)
+        by_query = {}
+        for query_id, k, value, done, sources in deliveries:
+            by_query.setdefault(query_id, []).append(k)
+        assert len(by_query[1]) == 5
+        assert len(by_query[2]) == 3
+
+    def test_duplicate_registration_rejected(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, network, tree, services, deliveries = build_query_network(topo, root=0)
+        query = QuerySpec(query_id=1, period=1.0)
+        services[0].register_query(query)
+        with pytest.raises(ValueError):
+            services[0].register_query(query)
+
+
+class TestTimeouts:
+    def test_root_times_out_when_leaf_subtree_is_dead(self) -> None:
+        # Star with two leaves; leaf 2's radio is off for the whole run, so
+        # the root must time out and deliver partial aggregates from leaf 1.
+        topo = Topology.from_positions([(0, 0), (60, 0), (0, 60)], comm_range=80.0)
+        sim, network, tree, services, deliveries = build_query_network(topo, root=0)
+        network.node(2).radio.sleep()
+        query = QuerySpec(query_id=1, period=1.0, start_time=0.0, duration=2.5)
+        for service in services.values():
+            service.register_query(query)
+        sim.run(until=6.0)
+        assert deliveries
+        # Aggregates only contain leaf 1's sample.
+        assert all(entry[4] == 1 for entry in deliveries)
+        assert services[0].stats.timeouts >= 1
+
+    def test_interior_node_timeout_forwards_partial_aggregate(self) -> None:
+        # Chain 0 <- 1 <- 2 plus an extra leaf 3 under node 1.
+        topo = Topology.from_positions(
+            [(0, 0), (100, 0), (200, 0), (100, 80)], comm_range=120.0
+        )
+        sim, network, tree, services, deliveries = build_query_network(topo, root=0)
+        network.node(2).radio.sleep()  # kill one leaf
+        query = QuerySpec(query_id=1, period=1.0, start_time=0.0, duration=2.5)
+        for service in services.values():
+            service.register_query(query)
+        sim.run(until=6.0)
+        assert deliveries
+        assert all(entry[4] == 1 for entry in deliveries)
+
+    def test_no_contribution_periods_are_skipped(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, network, tree, services, deliveries = build_query_network(topo, root=0)
+        network.node(1).radio.sleep()  # the only source is dead
+        query = QuerySpec(query_id=1, period=1.0, start_time=0.0, duration=2.5)
+        for service in services.values():
+            service.register_query(query)
+        sim.run(until=6.0)
+        assert deliveries == []
+
+
+class TestLossRecovery:
+    def test_mac_retransmission_hides_single_packet_loss(self) -> None:
+        dropped = []
+
+        def drop_first_report(src, dst, packet):
+            if isinstance(packet, DataReportPacket) and not dropped:
+                dropped.append(packet.packet_id)
+                return True
+            return False
+
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, network, tree, services, deliveries = build_query_network(
+            topo, root=0, loss_model=ScriptedLoss(drop_first_report)
+        )
+        query = QuerySpec(query_id=1, period=1.0, start_time=0.0, duration=2.5)
+        for service in services.values():
+            service.register_query(query)
+        sim.run(until=6.0)
+        assert len(deliveries) == 3
+        assert dropped
+
+
+class TestMaintenanceHooks:
+    def test_remove_child_dependency_unblocks_collection(self) -> None:
+        topo = Topology.from_positions([(0, 0), (60, 0), (0, 60)], comm_range=80.0)
+        sim, network, tree, services, deliveries = build_query_network(topo, root=0)
+        network.node(2).radio.sleep()
+        query = QuerySpec(query_id=1, period=1.0, start_time=0.0, duration=4.5)
+        for service in services.values():
+            service.register_query(query)
+        # After 2 s, the root learns child 2 is dead and drops the dependency.
+        sim.schedule_at(2.0, services[0].remove_child_dependency, 2)
+        sim.run(until=8.0)
+        # Later periods complete without waiting for the dead child, hence
+        # without a timeout: their completion time is close to the period start.
+        late = [entry for entry in deliveries if entry[1] >= 3]
+        assert late
+        for query_id, k, value, done, sources in late:
+            assert done - query.report_time(k) < 0.5
+
+    def test_stop_query_halts_generation(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, network, tree, services, deliveries = build_query_network(topo, root=0)
+        query = QuerySpec(query_id=1, period=1.0, start_time=0.0)
+        for service in services.values():
+            service.register_query(query)
+        sim.schedule_at(2.5, lambda: [s.stop_query(1) for s in services.values()])
+        sim.run(until=10.0)
+        assert 2 <= len(deliveries) <= 4
+
+    def test_stats_counters(self) -> None:
+        topo = Topology.line(3, spacing=100.0, comm_range=120.0)
+        sim, network, tree, services, deliveries = build_query_network(topo, root=0)
+        query = QuerySpec(query_id=1, period=1.0, start_time=0.0, duration=2.5)
+        for service in services.values():
+            service.register_query(query)
+        sim.run(until=5.0)
+        assert services[2].stats.samples_generated == 3
+        assert services[2].stats.reports_sent == 3
+        assert services[1].stats.reports_received == 3
+        assert services[0].stats.root_deliveries == 3

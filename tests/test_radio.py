@@ -1,0 +1,302 @@
+"""Tests for the radio state machine, energy model and duty-cycle accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.duty_cycle import (
+    DutyCycleTracker,
+    fraction_shorter_than,
+    histogram_sleep_intervals,
+)
+from repro.radio.energy import (
+    IDEAL,
+    MICA2_TYPICAL,
+    MICA2_WORST,
+    ZEBRANET,
+    PowerProfile,
+    break_even_time,
+    sleep_energy_saving,
+)
+from repro.radio.radio import Radio, RadioError
+from repro.radio.states import RadioState, is_active, is_asleep
+from repro.sim.engine import Simulator
+
+
+class TestPowerProfiles:
+    def test_break_even_equals_transition_time_when_cheap_transitions(self) -> None:
+        assert break_even_time(MICA2_TYPICAL) == pytest.approx(0.0025)
+        assert break_even_time(MICA2_WORST) == pytest.approx(0.010)
+        assert break_even_time(ZEBRANET) == pytest.approx(0.040)
+        assert break_even_time(IDEAL) == 0.0
+
+    def test_break_even_grows_when_transition_power_exceeds_active(self) -> None:
+        expensive = PowerProfile(
+            name="expensive",
+            idle_power=0.03,
+            sleep_power=0.0,
+            transition_power=0.06,
+            t_off_to_on=0.002,
+            t_on_to_off=0.001,
+        )
+        t_be = break_even_time(expensive)
+        assert t_be > expensive.transition_time
+
+    def test_break_even_infinite_when_sleep_saves_nothing(self) -> None:
+        useless = PowerProfile(
+            name="useless",
+            idle_power=0.03,
+            sleep_power=0.03,
+            transition_power=0.06,
+            t_off_to_on=0.002,
+            t_on_to_off=0.0,
+        )
+        assert break_even_time(useless) == float("inf")
+
+    def test_with_break_even_time_round_trips(self) -> None:
+        for target in (0.0, 0.0025, 0.010, 0.040):
+            profile = IDEAL.with_break_even_time(target)
+            assert break_even_time(profile) == pytest.approx(target)
+
+    def test_with_break_even_time_rejects_negative(self) -> None:
+        with pytest.raises(ValueError):
+            IDEAL.with_break_even_time(-1.0)
+
+    def test_power_lookup_per_state(self) -> None:
+        profile = MICA2_TYPICAL
+        assert profile.power(RadioState.TX) == profile.tx_power
+        assert profile.power(RadioState.RX) == profile.rx_power
+        assert profile.power(RadioState.IDLE) == profile.idle_power
+        assert profile.power(RadioState.OFF) == profile.sleep_power
+        assert profile.power(RadioState.TURNING_ON) == profile.transition_power
+
+    def test_sleep_energy_saving_positive_beyond_break_even(self) -> None:
+        t_be = break_even_time(MICA2_TYPICAL)
+        assert sleep_energy_saving(MICA2_TYPICAL, t_be * 4) > 0
+
+    def test_sleep_energy_saving_zero_or_negative_below_transition_time(self) -> None:
+        assert sleep_energy_saving(MICA2_TYPICAL, 0.0001) <= 0
+
+
+class TestStates:
+    def test_active_classification(self) -> None:
+        assert is_active(RadioState.IDLE)
+        assert is_active(RadioState.TX)
+        assert is_active(RadioState.RX)
+        assert is_active(RadioState.TURNING_ON)
+        assert not is_active(RadioState.OFF)
+
+    def test_asleep_classification(self) -> None:
+        assert is_asleep(RadioState.OFF)
+        assert not is_asleep(RadioState.IDLE)
+
+
+class TestRadioStateMachine:
+    def test_starts_awake_and_idle(self, sim: Simulator) -> None:
+        radio = Radio(sim, 0, IDEAL)
+        assert radio.state is RadioState.IDLE
+        assert radio.is_awake
+        assert radio.can_receive
+
+    def test_sleep_and_wake_with_zero_transition(self, sim: Simulator) -> None:
+        radio = Radio(sim, 0, IDEAL)
+        assert radio.sleep()
+        assert radio.is_asleep
+        radio.wake_up()
+        assert radio.is_awake
+
+    def test_sleep_refused_while_transmitting(self, sim: Simulator) -> None:
+        radio = Radio(sim, 0, IDEAL)
+        radio.start_tx()
+        assert not radio.sleep()
+        assert radio.refused_sleeps == 1
+        radio.end_tx()
+        assert radio.sleep()
+
+    def test_sleep_refused_while_receiving(self, sim: Simulator) -> None:
+        radio = Radio(sim, 0, IDEAL)
+        radio.start_rx()
+        assert not radio.sleep()
+        radio.end_rx()
+
+    def test_wake_takes_transition_time(self) -> None:
+        sim = Simulator(seed=0)
+        radio = Radio(sim, 0, MICA2_TYPICAL)
+        radio.sleep()
+        assert radio.is_asleep
+        radio.wake_up()
+        assert radio.state is RadioState.TURNING_ON
+        sim.run(until=0.0025)
+        assert radio.is_awake
+
+    def test_sleep_until_wakes_on_time(self) -> None:
+        sim = Simulator(seed=0)
+        radio = Radio(sim, 0, MICA2_TYPICAL)
+        woke_at = []
+        radio.on_wake(lambda: woke_at.append(sim.now))
+        assert radio.sleep_until(0.5)
+        sim.run(until=1.0)
+        assert woke_at == [pytest.approx(0.5)]
+        assert radio.is_awake
+
+    def test_sleep_until_refused_when_interval_too_short(self) -> None:
+        sim = Simulator(seed=0)
+        radio = Radio(sim, 0, MICA2_TYPICAL)
+        # Wake time closer than the off->on transition: refuse to sleep.
+        assert not radio.sleep_until(0.001)
+        assert radio.is_awake
+        assert radio.refused_sleeps == 1
+
+    def test_wake_during_turn_off_completes_and_wakes(self) -> None:
+        profile = PowerProfile(name="slow-off", t_off_to_on=0.002, t_on_to_off=0.003)
+        sim = Simulator(seed=0)
+        radio = Radio(sim, 0, profile)
+        radio.sleep()
+        assert radio.state is RadioState.TURNING_OFF
+        radio.wake_up()
+        sim.run(until=0.010)
+        assert radio.is_awake
+
+    def test_tx_from_sleep_raises(self, sim: Simulator) -> None:
+        radio = Radio(sim, 0, IDEAL)
+        radio.sleep()
+        with pytest.raises(RadioError):
+            radio.start_tx()
+
+    def test_end_tx_without_start_raises(self, sim: Simulator) -> None:
+        radio = Radio(sim, 0, IDEAL)
+        with pytest.raises(RadioError):
+            radio.end_tx()
+
+    def test_wake_listeners_called_each_wake(self, sim: Simulator) -> None:
+        radio = Radio(sim, 0, IDEAL)
+        count = []
+        radio.on_wake(lambda: count.append(1))
+        radio.sleep()
+        radio.wake_up()
+        radio.sleep()
+        radio.wake_up()
+        assert len(count) == 2
+        assert radio.wake_count == 2
+
+    def test_start_asleep(self, sim: Simulator) -> None:
+        radio = Radio(sim, 0, IDEAL, start_awake=False)
+        assert radio.is_asleep
+
+
+class TestDutyCycleTracker:
+    def test_all_idle_gives_full_duty_cycle(self) -> None:
+        tracker = DutyCycleTracker(IDEAL)
+        tracker.close(10.0)
+        assert tracker.duty_cycle() == pytest.approx(1.0)
+
+    def test_half_sleep_gives_half_duty_cycle(self) -> None:
+        tracker = DutyCycleTracker(IDEAL)
+        tracker.record_state(5.0, RadioState.OFF)
+        tracker.close(10.0)
+        assert tracker.duty_cycle() == pytest.approx(0.5)
+        assert tracker.sleep_time() == pytest.approx(5.0)
+        assert tracker.active_time() == pytest.approx(5.0)
+
+    def test_sleep_intervals_recorded(self) -> None:
+        tracker = DutyCycleTracker(IDEAL)
+        tracker.record_state(1.0, RadioState.OFF)
+        tracker.record_state(1.5, RadioState.IDLE)
+        tracker.record_state(3.0, RadioState.OFF)
+        tracker.record_state(3.2, RadioState.IDLE)
+        tracker.close(4.0)
+        assert tracker.sleep_intervals == [pytest.approx(0.5), pytest.approx(0.2)]
+
+    def test_open_sleep_interval_closed_at_end(self) -> None:
+        tracker = DutyCycleTracker(IDEAL)
+        tracker.record_state(8.0, RadioState.OFF)
+        tracker.close(10.0)
+        assert tracker.sleep_intervals == [pytest.approx(2.0)]
+
+    def test_energy_accounting(self) -> None:
+        tracker = DutyCycleTracker(MICA2_TYPICAL)
+        tracker.record_state(1.0, RadioState.TX)  # 1 s idle
+        tracker.record_state(2.0, RadioState.OFF)  # 1 s tx
+        tracker.close(4.0)  # 2 s off
+        expected = (
+            1.0 * MICA2_TYPICAL.idle_power
+            + 1.0 * MICA2_TYPICAL.tx_power
+            + 2.0 * MICA2_TYPICAL.sleep_power
+        )
+        assert tracker.energy_consumed() == pytest.approx(expected)
+
+    def test_backwards_time_rejected(self) -> None:
+        tracker = DutyCycleTracker(IDEAL)
+        tracker.record_state(2.0, RadioState.OFF)
+        with pytest.raises(ValueError):
+            tracker.record_state(1.0, RadioState.IDLE)
+
+    def test_close_is_idempotent(self) -> None:
+        tracker = DutyCycleTracker(IDEAL)
+        tracker.close(1.0)
+        tracker.close(1.0)
+        assert tracker.total_time() == pytest.approx(1.0)
+
+    def test_radio_integration_records_duty_cycle(self) -> None:
+        sim = Simulator(seed=0)
+        radio = Radio(sim, 0, IDEAL)
+        sim.schedule_at(2.0, radio.sleep)
+        sim.schedule_at(6.0, radio.wake_up)
+        sim.run(until=10.0)
+        radio.finalize()
+        assert radio.tracker.duty_cycle() == pytest.approx(0.6)
+        assert radio.tracker.sleep_intervals == [pytest.approx(4.0)]
+
+
+class TestSleepHistogram:
+    def test_histogram_bins_are_25ms_wide(self) -> None:
+        intervals = [0.010, 0.030, 0.049, 0.050, 0.051]
+        hist = histogram_sleep_intervals(intervals, bin_width=0.025)
+        as_dict = {round(edge, 3): count for edge, count in hist}
+        assert as_dict[0.025] == 1
+        assert as_dict[0.05] == 3  # 0.030, 0.049 and the edge value 0.050
+        assert as_dict[0.075] == 1
+
+    def test_histogram_empty(self) -> None:
+        assert histogram_sleep_intervals([]) == []
+
+    def test_histogram_clamps_to_max_value(self) -> None:
+        hist = histogram_sleep_intervals([0.01, 5.0], bin_width=0.025, max_value=0.2)
+        assert sum(count for _, count in hist) == 2
+        assert max(edge for edge, _ in hist) == pytest.approx(0.2)
+
+    def test_histogram_rejects_bad_bin_width(self) -> None:
+        with pytest.raises(ValueError):
+            histogram_sleep_intervals([0.1], bin_width=0.0)
+
+    def test_fraction_shorter_than(self) -> None:
+        intervals = [0.001, 0.002, 0.1, 0.2]
+        assert fraction_shorter_than(intervals, 0.0025) == pytest.approx(0.5)
+        assert fraction_shorter_than([], 0.0025) == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.001, max_value=5.0, allow_nan=False),
+            st.sampled_from(list(RadioState)),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_state_times_sum_to_total(transitions: list[tuple[float, RadioState]]) -> None:
+    """Time accounted across states always sums to the observation window."""
+    tracker = DutyCycleTracker(IDEAL)
+    now = 0.0
+    for delta, state in transitions:
+        now += delta
+        tracker.record_state(now, state)
+    end = now + 1.0
+    tracker.close(end)
+    assert tracker.total_time() == pytest.approx(end)
+    assert tracker.active_time() + tracker.sleep_time() == pytest.approx(end)
+    assert 0.0 <= tracker.duty_cycle() <= 1.0

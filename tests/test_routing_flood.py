@@ -1,0 +1,65 @@
+"""Tests for the distributed flood-based tree setup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.node import build_network
+from repro.net.topology import Topology
+from repro.radio.energy import IDEAL
+from repro.routing.flood import FloodSetup
+from repro.routing.tree import RoutingError, build_routing_tree
+from repro.sim.engine import Simulator
+
+
+def run_flood(topology: Topology, root: int, seed: int = 0, duration: float = 5.0):
+    sim = Simulator(seed=seed)
+    network = build_network(sim, topology, power_profile=IDEAL)
+    setup = FloodSetup(sim, network, root=root)
+    setup.start(at=0.0)
+    sim.run(until=duration)
+    return setup
+
+
+class TestFloodSetup:
+    def test_line_flood_builds_chain(self) -> None:
+        topo = Topology.line(4, spacing=100.0, comm_range=120.0)
+        setup = run_flood(topo, root=0)
+        tree = setup.result()
+        assert set(tree.nodes) == {0, 1, 2, 3}
+        assert tree.parent_of(1) == 0
+        assert tree.parent_of(2) == 1
+        assert tree.parent_of(3) == 2
+        assert setup.coverage() == pytest.approx(1.0)
+
+    def test_flood_covers_connected_random_topology(self) -> None:
+        topo = Topology.random(25, area=(300.0, 300.0), comm_range=130.0, seed=3)
+        root = topo.center_node()
+        setup = run_flood(topo, root=root, duration=10.0)
+        tree = setup.result()
+        reachable = topo.connected_component_of(root)
+        assert set(tree.nodes) == set(reachable)
+
+    def test_flood_levels_match_centralized_builder(self) -> None:
+        topo = Topology.random(20, area=(250.0, 250.0), comm_range=120.0, seed=9)
+        root = topo.center_node()
+        setup = run_flood(topo, root=root, duration=10.0)
+        flooded = setup.result()
+        centralized = build_routing_tree(topo, root=root)
+        for node in centralized.nodes:
+            assert flooded.level(node) == centralized.level(node)
+
+    def test_result_before_flood_raises(self) -> None:
+        topo = Topology.line(3, spacing=100.0, comm_range=120.0)
+        sim = Simulator(seed=0)
+        network = build_network(sim, topo, power_profile=IDEAL)
+        setup = FloodSetup(sim, network, root=0)
+        with pytest.raises(RoutingError):
+            setup.result()
+
+    def test_disconnected_node_not_covered(self) -> None:
+        topo = Topology.from_positions([(0, 0), (50, 0), (5000, 0)], comm_range=100.0)
+        setup = run_flood(topo, root=0)
+        tree = setup.result()
+        assert 2 not in tree
+        assert setup.coverage() == pytest.approx(1.0)

@@ -1,0 +1,270 @@
+"""Tests for routing-tree construction, rank/level computation and repair."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.topology import Topology
+from repro.routing.maintenance import TreeMaintenance
+from repro.routing.tree import RoutingError, RoutingTree, build_routing_tree
+
+
+def chain_tree(length: int) -> RoutingTree:
+    """A simple chain 0 <- 1 <- 2 <- ... (root 0)."""
+    return RoutingTree(root=0, parent={i: i - 1 for i in range(1, length)})
+
+
+class TestRoutingTreeStructure:
+    def test_chain_levels_and_ranks(self) -> None:
+        tree = chain_tree(4)
+        assert [tree.level(i) for i in range(4)] == [0, 1, 2, 3]
+        assert [tree.rank(i) for i in range(4)] == [3, 2, 1, 0]
+        assert tree.max_rank == 3
+        assert tree.depth == 3
+
+    def test_leaf_rank_is_zero(self) -> None:
+        tree = RoutingTree(root=0, parent={1: 0, 2: 0, 3: 1})
+        assert tree.rank(2) == 0
+        assert tree.rank(3) == 0
+        assert tree.is_leaf(3)
+        assert not tree.is_leaf(1)
+
+    def test_rank_is_subtree_height_not_level(self) -> None:
+        # Node 1 has a deep subtree; node 2 is a direct leaf of the root.
+        tree = RoutingTree(root=0, parent={1: 0, 2: 0, 3: 1, 4: 3})
+        assert tree.rank(0) == 3
+        assert tree.rank(1) == 2
+        assert tree.rank(2) == 0
+        assert tree.level(2) == 1
+
+    def test_children_are_sorted(self) -> None:
+        tree = RoutingTree(root=0, parent={3: 0, 1: 0, 2: 0})
+        assert tree.children(0) == [1, 2, 3]
+
+    def test_leaves_and_interior(self) -> None:
+        tree = RoutingTree(root=0, parent={1: 0, 2: 1, 3: 1})
+        assert tree.leaves == [2, 3]
+        assert tree.interior_nodes == [0, 1]
+
+    def test_parent_of_root_is_none(self) -> None:
+        tree = chain_tree(3)
+        assert tree.parent_of(0) is None
+        assert tree.parent_of(2) == 1
+
+    def test_subtree(self) -> None:
+        tree = RoutingTree(root=0, parent={1: 0, 2: 1, 3: 1, 4: 0})
+        assert tree.subtree(1) == frozenset({1, 2, 3})
+        assert tree.subtree(0) == frozenset({0, 1, 2, 3, 4})
+
+    def test_subtree_contains_any(self) -> None:
+        tree = RoutingTree(root=0, parent={1: 0, 2: 1, 3: 0})
+        assert tree.subtree_contains_any(1, {2})
+        assert not tree.subtree_contains_any(3, {2})
+        assert not tree.subtree_contains_any(1, set())
+
+    def test_path_to_root(self) -> None:
+        tree = chain_tree(4)
+        assert tree.path_to_root(3) == [3, 2, 1, 0]
+        assert tree.path_to_root(0) == [0]
+
+    def test_nodes_by_rank(self) -> None:
+        tree = RoutingTree(root=0, parent={1: 0, 2: 1, 3: 0})
+        grouped = tree.nodes_by_rank()
+        assert grouped[0] == [2, 3]
+        assert grouped[1] == [1]
+        assert grouped[2] == [0]
+
+    def test_contains_and_len(self) -> None:
+        tree = chain_tree(3)
+        assert 2 in tree
+        assert 9 not in tree
+        assert len(tree) == 3
+
+    def test_unknown_node_raises(self) -> None:
+        tree = chain_tree(3)
+        with pytest.raises(RoutingError):
+            tree.level(99)
+
+    def test_unreachable_node_rejected(self) -> None:
+        with pytest.raises(RoutingError):
+            RoutingTree(root=0, parent={2: 3, 3: 2})
+
+    def test_root_with_parent_rejected(self) -> None:
+        with pytest.raises(RoutingError):
+            RoutingTree(root=0, parent={0: 1, 1: 0})
+
+
+class TestRoutingTreeMutation:
+    def test_reparent_updates_levels_and_ranks(self) -> None:
+        tree = RoutingTree(root=0, parent={1: 0, 2: 1, 3: 2})
+        tree.reparent(3, 0)
+        assert tree.level(3) == 1
+        assert tree.rank(1) == 1
+        assert tree.rank(0) == 2
+
+    def test_reparent_cycle_rejected(self) -> None:
+        tree = chain_tree(4)
+        with pytest.raises(RoutingError):
+            tree.reparent(1, 3)
+
+    def test_reparent_root_rejected(self) -> None:
+        tree = chain_tree(3)
+        with pytest.raises(RoutingError):
+            tree.reparent(0, 2)
+
+    def test_remove_subtree(self) -> None:
+        tree = RoutingTree(root=0, parent={1: 0, 2: 1, 3: 1, 4: 0})
+        removed = tree.remove_subtree(1)
+        assert removed == frozenset({1, 2, 3})
+        assert tree.nodes == [0, 4]
+
+    def test_remove_node_detaches_orphans(self) -> None:
+        tree = RoutingTree(root=0, parent={1: 0, 2: 1, 3: 2})
+        orphans = tree.remove_node(1)
+        assert orphans == [2]
+        assert tree.nodes == [0]
+
+    def test_attach_subtree_restores_structure(self) -> None:
+        tree = RoutingTree(root=0, parent={1: 0, 2: 1, 3: 2})
+        tree.remove_node(1)
+        tree.attach_subtree(2, 0, internal_edges={3: 2})
+        assert tree.parent_of(2) == 0
+        assert tree.parent_of(3) == 2
+        assert tree.rank(0) == 2
+
+    def test_attach_existing_node_rejected(self) -> None:
+        tree = chain_tree(3)
+        with pytest.raises(RoutingError):
+            tree.attach_subtree(2, 0, internal_edges={})
+
+
+class TestBuildRoutingTree:
+    def test_line_topology_builds_chain(self) -> None:
+        topo = Topology.line(5, spacing=100.0, comm_range=120.0)
+        tree = build_routing_tree(topo, root=0)
+        assert tree.parent_of(1) == 0
+        assert tree.parent_of(4) == 3
+        assert tree.max_rank == 4
+
+    def test_default_root_is_center_node(self) -> None:
+        topo = Topology.from_positions(
+            [(0, 0), (250, 250), (499, 0)], comm_range=600.0, area=(500.0, 500.0)
+        )
+        tree = build_routing_tree(topo)
+        assert tree.root == 1
+
+    def test_levels_are_shortest_hop_distances(self) -> None:
+        topo = Topology.random(40, area=(400.0, 400.0), comm_range=150.0, seed=8)
+        root = topo.center_node()
+        tree = build_routing_tree(topo, root=root)
+        import networkx as nx
+
+        graph = topo.to_graph()
+        lengths = nx.single_source_shortest_path_length(graph, root)
+        for node in tree.nodes:
+            assert tree.level(node) == lengths[node]
+
+    def test_max_distance_filter(self) -> None:
+        topo = Topology.from_positions(
+            [(0, 0), (100, 0), (200, 0), (600, 0)], comm_range=450.0
+        )
+        tree = build_routing_tree(topo, root=0, max_distance_from_root=300.0)
+        assert 3 not in tree
+        assert set(tree.nodes) == {0, 1, 2}
+
+    def test_unknown_root_rejected(self) -> None:
+        topo = Topology.line(3, spacing=50.0)
+        with pytest.raises(RoutingError):
+            build_routing_tree(topo, root=42)
+
+    def test_disconnected_nodes_left_out(self) -> None:
+        topo = Topology.from_positions([(0, 0), (50, 0), (5000, 0)], comm_range=100.0)
+        tree = build_routing_tree(topo, root=0)
+        assert set(tree.nodes) == {0, 1}
+
+
+class TestTreeMaintenance:
+    def test_failure_reattaches_orphan_to_surviving_neighbor(self) -> None:
+        # Chain 0 - 1 - 2 - 3 - 4 plus node 5 linked to both 0 and 2.
+        topo = Topology.from_positions(
+            [(0, 0), (100, 0), (200, 0), (300, 0), (400, 0), (100, 60)], comm_range=125.0
+        )
+        tree = build_routing_tree(topo, root=0)
+        assert tree.parent_of(2) == 1
+        maintenance = TreeMaintenance(tree, topo)
+        result = maintenance.handle_node_failure(1)
+        assert result.failed_node == 1
+        assert result.reattached == {2: 5}
+        assert 1 not in tree
+        assert tree.parent_of(2) == 5
+
+    def test_failure_with_no_alternative_disconnects(self) -> None:
+        topo = Topology.line(3, spacing=100.0, comm_range=120.0)
+        tree = build_routing_tree(topo, root=0)
+        maintenance = TreeMaintenance(tree, topo)
+        result = maintenance.handle_node_failure(1)
+        assert result.disconnected == [2]
+        assert set(tree.nodes) == {0}
+
+    def test_failure_preserves_orphan_subtree_structure(self) -> None:
+        # 0 at the centre, chain 0-1-2-3-4, and node 5 linking 0 and 2.
+        topo = Topology.from_positions(
+            [(0, 0), (100, 0), (200, 0), (300, 0), (400, 0), (100, 60)], comm_range=125.0
+        )
+        tree = build_routing_tree(topo, root=0)
+        assert tree.parent_of(2) == 1
+        assert tree.parent_of(3) == 2
+        maintenance = TreeMaintenance(tree, topo)
+        result = maintenance.handle_node_failure(1)
+        # Node 2 reattaches through node 5 (a neighbour at level 1); its
+        # subtree (3, 4) stays intact below it.
+        assert result.reattached[2] == 5
+        assert tree.parent_of(3) == 2
+        assert tree.parent_of(4) == 3
+
+    def test_rank_changes_reported(self) -> None:
+        # Chain 0 - 1 - 2 - 3 - 4 plus node 5 linked to both 0 and 2: when
+        # node 1 fails, node 2's subtree moves under node 5, whose rank grows
+        # from 0 (leaf) to 3.
+        topo = Topology.from_positions(
+            [(0, 0), (100, 0), (200, 0), (300, 0), (400, 0), (100, 60)], comm_range=125.0
+        )
+        tree = build_routing_tree(topo, root=0)
+        assert tree.rank(5) == 0
+        maintenance = TreeMaintenance(tree, topo)
+        result = maintenance.handle_node_failure(1)
+        assert result.rank_changes.get(5) == 3
+        assert tree.rank(0) == 4
+
+    def test_root_failure_rejected(self) -> None:
+        topo = Topology.line(3, spacing=100.0, comm_range=120.0)
+        tree = build_routing_tree(topo, root=0)
+        maintenance = TreeMaintenance(tree, topo)
+        with pytest.raises(RoutingError):
+            maintenance.handle_node_failure(0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=2, max_value=40),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_property_tree_invariants_on_random_topologies(num_nodes: int, seed: int) -> None:
+    """Levels increase by one along edges; ranks are consistent with children."""
+    topo = Topology.random(num_nodes, area=(300.0, 300.0), comm_range=120.0, seed=seed)
+    root = topo.center_node()
+    tree = build_routing_tree(topo, root=root)
+    for node in tree.nodes:
+        parent = tree.parent_of(node)
+        if parent is not None:
+            assert tree.level(node) == tree.level(parent) + 1
+            assert topo.in_range(node, parent)
+        kids = tree.children(node)
+        if kids:
+            assert tree.rank(node) == 1 + max(tree.rank(kid) for kid in kids)
+        else:
+            assert tree.rank(node) == 0
+    # Every node of the root's connected component is spanned.
+    assert set(tree.nodes) == set(topo.connected_component_of(root))

@@ -1,0 +1,243 @@
+"""Unit and property tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import EventPriority
+from repro.sim.process import Timer
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim: Simulator) -> None:
+        assert sim.now == 0.0
+
+    def test_schedule_at_runs_callback_at_time(self, sim: Simulator) -> None:
+        fired = []
+        sim.schedule_at(1.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.5]
+        assert sim.now == 1.5
+
+    def test_schedule_in_is_relative(self, sim: Simulator) -> None:
+        fired = []
+        sim.schedule_at(2.0, lambda: sim.schedule_in(0.5, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [2.5]
+
+    def test_schedule_in_past_raises(self, sim: Simulator) -> None:
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self, sim: Simulator) -> None:
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-0.1, lambda: None)
+
+    def test_events_fire_in_time_order(self, sim: Simulator) -> None:
+        order = []
+        sim.schedule_at(3.0, lambda: order.append(3))
+        sim.schedule_at(1.0, lambda: order.append(1))
+        sim.schedule_at(2.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_same_time_events_fire_in_fifo_order(self, sim: Simulator) -> None:
+        order = []
+        for i in range(5):
+            sim.schedule_at(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self, sim: Simulator) -> None:
+        order = []
+        sim.schedule_at(1.0, lambda: order.append("normal"), priority=EventPriority.NORMAL)
+        sim.schedule_at(1.0, lambda: order.append("high"), priority=EventPriority.HIGH)
+        sim.schedule_at(1.0, lambda: order.append("low"), priority=EventPriority.LOW)
+        sim.run()
+        assert order == ["high", "normal", "low"]
+
+    def test_cancel_prevents_firing(self, sim: Simulator) -> None:
+        fired = []
+        handle = sim.schedule_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_run_until_stops_before_later_events(self, sim: Simulator) -> None:
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(5.0, lambda: fired.append(5))
+        end = sim.run(until=2.0)
+        assert fired == [1]
+        assert end == 2.0
+        assert sim.pending_events == 1
+
+    def test_run_until_executes_event_at_horizon(self, sim: Simulator) -> None:
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.run(until=2.0)
+        assert fired == [2]
+
+    def test_run_advances_clock_to_until_when_queue_drains(self, sim: Simulator) -> None:
+        sim.schedule_at(1.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_stop_halts_run(self, sim: Simulator) -> None:
+        fired = []
+        sim.schedule_at(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events_limits_run(self, sim: Simulator) -> None:
+        fired = []
+        for i in range(10):
+            sim.schedule_at(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert len(fired) == 3
+
+    def test_peek_next_time(self, sim: Simulator) -> None:
+        assert sim.peek_next_time() is None
+        handle = sim.schedule_at(4.0, lambda: None)
+        sim.schedule_at(6.0, lambda: None)
+        assert sim.peek_next_time() == 4.0
+        handle.cancel()
+        assert sim.peek_next_time() == 6.0
+
+    def test_processed_events_counter(self, sim: Simulator) -> None:
+        for i in range(4):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run()
+        assert sim.processed_events == 4
+
+
+class TestPeriodic:
+    def test_call_every_fires_at_period(self, sim: Simulator) -> None:
+        times = []
+        sim.call_every(1.0, lambda: times.append(sim.now), start=1.0)
+        sim.run(until=5.0)
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_call_every_with_count(self, sim: Simulator) -> None:
+        times = []
+        sim.call_every(0.5, lambda: times.append(sim.now), start=0.5, count=3)
+        sim.run(until=10.0)
+        assert times == [0.5, 1.0, 1.5]
+
+    def test_call_every_cancel(self, sim: Simulator) -> None:
+        times = []
+        handle = sim.call_every(1.0, lambda: times.append(sim.now), start=1.0)
+        sim.schedule_at(2.5, handle.cancel)
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0]
+        assert handle.cancelled
+
+    def test_call_every_rejects_nonpositive_period(self, sim: Simulator) -> None:
+        with pytest.raises(SimulationError):
+            sim.call_every(0.0, lambda: None)
+
+
+class TestTimer:
+    def test_timer_fires_once(self, sim: Simulator) -> None:
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start_in(2.0)
+        sim.run()
+        assert fired == [2.0]
+        assert not timer.pending
+
+    def test_timer_restart_replaces_pending(self, sim: Simulator) -> None:
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start_in(2.0)
+        timer.start_in(5.0)
+        sim.run()
+        assert fired == [5.0]
+
+    def test_timer_cancel(self, sim: Simulator) -> None:
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start_in(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_timer_expiry_property(self, sim: Simulator) -> None:
+        timer = Timer(sim, lambda: None)
+        assert timer.expiry is None
+        timer.start_at(3.0)
+        assert timer.expiry == 3.0
+
+    def test_timer_fired_count(self, sim: Simulator) -> None:
+        timer = Timer(sim, lambda: None)
+        timer.start_in(1.0)
+        sim.run()
+        timer.start_in(1.0)
+        sim.run()
+        assert timer.fired_count == 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self) -> None:
+        sim_a = Simulator(seed=123)
+        sim_b = Simulator(seed=123)
+        draws_a = [sim_a.streams.get("mac.backoff.1").random() for _ in range(20)]
+        draws_b = [sim_b.streams.get("mac.backoff.1").random() for _ in range(20)]
+        assert draws_a == draws_b
+
+    def test_different_streams_are_independent(self) -> None:
+        sim = Simulator(seed=5)
+        first = sim.streams.get("a").random()
+        # Interleaving draws from stream "b" must not change stream "a".
+        sim2 = Simulator(seed=5)
+        sim2.streams.get("b").random()
+        second = sim2.streams.get("a").random()
+        assert first == second
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=1, max_size=60))
+def test_property_events_always_fire_in_nondecreasing_time_order(times: list[float]) -> None:
+    """Events scheduled in any order fire with a non-decreasing clock."""
+    sim = Simulator(seed=0)
+    observed: list[float] = []
+    for t in times:
+        sim.schedule_at(t, lambda t=t: observed.append(sim.now))
+    sim.run()
+    assert len(observed) == len(times)
+    assert observed == sorted(observed)
+    assert sorted(observed) == sorted(times)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_cancelled_events_never_fire(entries: list[tuple[float, bool]]) -> None:
+    """Cancelled events never execute; the rest all execute exactly once."""
+    sim = Simulator(seed=0)
+    fired: list[int] = []
+    expected = 0
+    for index, (time, cancel) in enumerate(entries):
+        handle = sim.schedule_at(time, lambda index=index: fired.append(index))
+        if cancel:
+            handle.cancel()
+        else:
+            expected += 1
+    sim.run()
+    assert len(fired) == expected
+    assert len(set(fired)) == len(fired)

@@ -1,0 +1,105 @@
+"""Unit tests for the expected send/receive timing table."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timing import TimingTable
+
+
+class TestTimingTable:
+    def test_empty_table(self) -> None:
+        table = TimingTable()
+        assert table.next_wakeup() is None
+        assert table.is_empty()
+        assert table.query_ids() == []
+
+    def test_set_and_read_expectations(self) -> None:
+        table = TimingTable()
+        table.set_next_receive(1, child=5, time=2.0)
+        table.set_next_send(1, time=3.0)
+        assert table.next_receive(1, 5) == 2.0
+        assert table.next_send(1) == 3.0
+        assert table.next_receive(1, 99) is None
+        assert table.next_send(2) is None
+
+    def test_next_wakeup_is_minimum_over_all_entries(self) -> None:
+        table = TimingTable()
+        table.set_next_receive(1, child=5, time=2.0)
+        table.set_next_receive(1, child=6, time=1.5)
+        table.set_next_send(1, time=3.0)
+        table.set_next_receive(2, child=5, time=0.7)
+        assert table.next_wakeup() == pytest.approx(0.7)
+
+    def test_listeners_notified_on_every_change(self) -> None:
+        table = TimingTable()
+        calls = []
+        table.subscribe(lambda: calls.append(1))
+        table.set_next_receive(1, 2, 1.0)
+        table.set_next_send(1, 2.0)
+        table.remove_child(1, 2)
+        table.remove_query(1)
+        assert len(calls) == 4
+
+    def test_remove_child_and_query(self) -> None:
+        table = TimingTable()
+        table.set_next_receive(1, 2, 1.0)
+        table.set_next_receive(1, 3, 2.0)
+        table.set_next_send(1, 5.0)
+        table.remove_child(1, 2)
+        assert table.next_receive(1, 2) is None
+        assert table.next_wakeup() == pytest.approx(2.0)
+        table.remove_query(1)
+        assert table.is_empty()
+
+    def test_remove_missing_entries_is_silent_and_does_not_notify(self) -> None:
+        table = TimingTable()
+        calls = []
+        table.subscribe(lambda: calls.append(1))
+        table.remove_child(1, 2)
+        table.remove_query(7)
+        table.clear_next_send(3)
+        assert calls == []
+
+    def test_clear_next_send(self) -> None:
+        table = TimingTable()
+        table.set_next_send(1, 4.0)
+        table.clear_next_send(1)
+        assert table.next_send(1) is None
+        assert table.is_empty()
+
+    def test_entries_listing(self) -> None:
+        table = TimingTable()
+        table.set_next_receive(1, 2, 1.0)
+        table.set_next_send(1, 2.0)
+        entries = table.entries()
+        assert (1, "receive", 2, 1.0) in entries
+        assert (1, "send", None, 2.0) in entries
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=4),  # query id
+            st.integers(min_value=0, max_value=6),  # child id
+            st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+            st.booleans(),  # receive vs send entry
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_next_wakeup_is_global_minimum(entries) -> None:
+    table = TimingTable()
+    expected: dict = {}
+    for query_id, child, time, is_receive in entries:
+        if is_receive:
+            table.set_next_receive(query_id, child, time)
+            expected[(query_id, "r", child)] = time
+        else:
+            table.set_next_send(query_id, time)
+            expected[(query_id, "s", None)] = time
+    assert table.next_wakeup() == pytest.approx(min(expected.values()))
