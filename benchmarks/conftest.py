@@ -6,13 +6,48 @@ corresponding sweep (at reduced scale by default, at paper scale when
 qualitative shape the paper reports.  ``pytest-benchmark`` records the
 wall-clock cost of the sweep; every sweep is executed exactly once
 (``rounds=1``) because a single run already takes seconds to minutes.
+
+The orchestrator benchmark (``test_orchestrator_bench.py``) additionally records
+its serial / parallel / warm-store wall-clock numbers into
+``BENCH_orchestrator.json`` at the repository root via
+:func:`record_orchestrator_bench`, so the sweep-throughput trajectory is
+machine-readable from this PR onward.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.config import ScenarioConfig, default_scale
+
+#: Where the orchestrator benchmark numbers land (repository root).
+ORCHESTRATOR_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_orchestrator.json"
+
+#: Filled by ``test_orchestrator_bench.py`` during the session; written on exit.
+_orchestrator_bench: dict = {}
+
+
+def record_orchestrator_bench(data: dict) -> None:
+    """Stash the orchestrator benchmark numbers for session-end emission."""
+    _orchestrator_bench.update(data)
+
+
+@pytest.fixture()
+def orchestrator_bench_recorder():
+    """The recorder callable, exposed as a fixture for the benchmark test."""
+    return record_orchestrator_bench
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Emit ``BENCH_orchestrator.json`` if the orchestrator benchmark ran."""
+    if _orchestrator_bench:
+        ORCHESTRATOR_BENCH_PATH.write_text(
+            json.dumps(_orchestrator_bench, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,100 @@
+"""Benchmark: orchestrated sweep throughput (serial vs parallel vs cached).
+
+Runs one reduced-scale multi-point sweep three ways through
+:func:`repro.orchestrator.api.run_experiments`:
+
+1. serial (``workers=1``, no store),
+2. parallel (``workers=min(4, cpu_count)``),
+3. a warm-store replay (every job a cache hit, zero simulator runs),
+
+asserts all three produce identical metrics, and records the wall-clock
+numbers into ``BENCH_orchestrator.json`` at the repository root (see
+``conftest.record_orchestrator_bench``).  On a single-core machine the
+parallel run only demonstrates correctness, not speedup; the JSON records
+``cpu_count`` so trajectory comparisons can account for that.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments.scenarios import rate_sweep_workload
+from repro.orchestrator import ResultStore, SweepExecutor
+from repro.orchestrator.api import ExperimentSpec, run_experiments
+
+#: The sweep: two ESSAT protocols at the rate-sweep end points.
+SWEEP_PROTOCOLS = ("DTS-SS", "STS-SS")
+SWEEP_RATES = (1.0, 5.0)
+
+
+def _sweep_specs(scenario):
+    return [
+        ExperimentSpec(
+            scenario=scenario,
+            protocol=protocol,
+            workload=rate_sweep_workload(rate),
+            num_runs=1,
+        )
+        for protocol in SWEEP_PROTOCOLS
+        for rate in SWEEP_RATES
+    ]
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def test_orchestrator_sweep_throughput(
+    scenario, tmp_path, run_once, orchestrator_bench_recorder
+) -> None:
+    specs = _sweep_specs(scenario)
+    workers = min(4, os.cpu_count() or 1)
+
+    serial, serial_s = _timed(lambda: run_experiments(specs, workers=1))
+    parallel, parallel_s = _timed(lambda: run_experiments(specs, workers=workers))
+
+    store = ResultStore(tmp_path / "bench-store")
+    _, cold_store_s = _timed(lambda: run_experiments(specs, workers=1, store=store))
+    warm, warm_s = _timed(lambda: run_experiments(specs, workers=1, store=store))
+
+    # Correctness: all execution modes agree bit-for-bit.
+    for a, b, c in zip(serial, parallel, warm):
+        assert a.metrics.average_duty_cycle == b.metrics.average_duty_cycle
+        assert a.metrics.average_duty_cycle == c.metrics.average_duty_cycle
+        assert a.metrics.average_query_latency == b.metrics.average_query_latency
+        assert a.metrics.average_query_latency == c.metrics.average_query_latency
+
+    # The warm replay must be pure cache: re-running against the same store
+    # through a bare executor performs zero simulator runs.
+    executor = SweepExecutor(workers=1, store=store)
+    jobs = [job for spec in specs for job in spec.expand()]
+    executor.run(jobs)
+    assert executor.last_executed == 0
+    assert executor.last_cached == len(jobs)
+    assert warm_s < serial_s
+
+    orchestrator_bench_recorder(
+        {
+            "sweep": {
+                "protocols": list(SWEEP_PROTOCOLS),
+                "rates": list(SWEEP_RATES),
+                "num_nodes": scenario.num_nodes,
+                "duration_s": scenario.duration,
+                "num_jobs": len(jobs),
+            },
+            "cpu_count": os.cpu_count(),
+            "parallel_workers": workers,
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "speedup": serial_s / parallel_s if parallel_s > 0 else None,
+            "cold_store_seconds": cold_store_s,
+            "warm_store_seconds": warm_s,
+        }
+    )
+
+    # One extra serial pass under pytest-benchmark so this sweep shows up in
+    # the benchmark table alongside the figure sweeps.
+    run_once(run_experiments, specs, workers=1)

@@ -13,7 +13,9 @@ The package is organised as:
   and DTS traffic shapers,
 * :mod:`repro.baselines` -- SYNC, PSM and SPAN comparison protocols,
 * :mod:`repro.experiments` -- scenario configs, metrics, and the per-figure
-  reproduction harness.
+  reproduction harness,
+* :mod:`repro.orchestrator` -- parallel sweep execution with a
+  content-addressed result store (``--jobs`` / ``--cache-dir``).
 """
 
 __version__ = "1.0.0"

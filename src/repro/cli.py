@@ -11,6 +11,11 @@ Exposes the experiment harness without writing any Python:
 The ``--scale`` option selects the scenario size (``smoke`` for seconds-long
 sanity runs, ``reduced`` for the default benchmark scale, ``paper`` for the
 full 80-node, 200 s, 5-replication configuration).
+
+Sweeps run through :mod:`repro.orchestrator`: ``--jobs N`` executes the
+sweep on ``N`` worker processes (bit-identical results), ``--cache-dir DIR``
+memoises finished runs so re-invocations and interrupted sweeps reuse them,
+and ``--progress`` prints per-job progress with an ETA to stderr.
 """
 
 from __future__ import annotations
@@ -33,7 +38,7 @@ from .experiments.figures import (
     headline_claims,
 )
 from .experiments.lifetime import estimate_lifetime
-from .experiments.runner import ALL_PROTOCOLS, run_experiment
+from .experiments.runner import ALL_PROTOCOLS, run_protocol_comparison
 from .experiments.scenarios import base_rates, rate_sweep_workload
 from .experiments.tables import comparison_table
 from .routing.tree import build_routing_tree
@@ -45,43 +50,62 @@ SCALES: Dict[str, Callable[[], ScenarioConfig]] = {
     "paper": paper_scale,
 }
 
-#: Figure name -> (description, generator taking (scenario, num_runs)).
+#: Figure name -> (description, generator taking
+#: (scenario, num_runs, jobs, store, progress)).
 FIGURES: Dict[str, tuple] = {
     "fig2": (
         "STS-SS duty cycle and latency vs query deadline",
-        lambda scenario, runs: figure2_deadline_sweep(scenario, num_runs=runs),
+        lambda scenario, runs, **orch: figure2_deadline_sweep(
+            scenario, num_runs=runs, **orch
+        ),
     ),
     "fig3": (
         "average duty cycle vs base rate",
-        lambda scenario, runs: figure3_duty_cycle_vs_rate(scenario, num_runs=runs),
+        lambda scenario, runs, **orch: figure3_duty_cycle_vs_rate(
+            scenario, num_runs=runs, **orch
+        ),
     ),
     "fig4": (
         "average duty cycle vs queries per class",
-        lambda scenario, runs: figure4_duty_cycle_vs_queries(scenario, num_runs=runs),
+        lambda scenario, runs, **orch: figure4_duty_cycle_vs_queries(
+            scenario, num_runs=runs, **orch
+        ),
     ),
     "fig5": (
         "duty cycle distribution over node ranks",
-        lambda scenario, runs: figure5_duty_cycle_by_rank(scenario, num_runs=runs or 1),
+        lambda scenario, runs, **orch: figure5_duty_cycle_by_rank(
+            scenario, num_runs=runs or 1, **orch
+        ),
     ),
     "fig6": (
         "query latency vs base rate",
-        lambda scenario, runs: figure6_latency_vs_rate(scenario, num_runs=runs),
+        lambda scenario, runs, **orch: figure6_latency_vs_rate(
+            scenario, num_runs=runs, **orch
+        ),
     ),
     "fig7": (
         "query latency vs queries per class",
-        lambda scenario, runs: figure7_latency_vs_queries(scenario, num_runs=runs),
+        lambda scenario, runs, **orch: figure7_latency_vs_queries(
+            scenario, num_runs=runs, **orch
+        ),
     ),
     "fig8": (
         "sleep-interval histogram (T_BE = 0)",
-        lambda scenario, runs: figure8_sleep_interval_histogram(scenario, num_runs=runs or 1),
+        lambda scenario, runs, **orch: figure8_sleep_interval_histogram(
+            scenario, num_runs=runs or 1, **orch
+        ),
     ),
     "fig9": (
         "duty cycle vs base rate for several break-even times",
-        lambda scenario, runs: figure9_break_even_time(scenario, num_runs=runs),
+        lambda scenario, runs, **orch: figure9_break_even_time(
+            scenario, num_runs=runs, **orch
+        ),
     ),
     "overhead": (
         "DTS phase-update overhead per data report",
-        lambda scenario, runs: dts_overhead_vs_rate(scenario, num_runs=runs),
+        lambda scenario, runs, **orch: dts_overhead_vs_rate(
+            scenario, num_runs=runs, **orch
+        ),
     ),
 }
 
@@ -100,6 +124,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--runs", type=int, default=None, help="replications per data point (default: per scale)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep execution (1 = serial, deterministic either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store; repeated/interrupted sweeps reuse finished runs",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-job progress and ETA to stderr while a sweep runs",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -122,13 +163,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _print_headline(scenario: ScenarioConfig, runs: Optional[int], out) -> None:
+def _print_headline(scenario: ScenarioConfig, runs: Optional[int], out, orch) -> None:
     rates = base_rates()
     figure3 = figure3_duty_cycle_vs_rate(
-        scenario, rates=rates, protocols=("DTS-SS", "SPAN"), num_runs=runs
+        scenario, rates=rates, protocols=("DTS-SS", "SPAN"), num_runs=runs, **orch
     )
     figure6 = figure6_latency_vs_rate(
-        scenario, rates=rates, protocols=("DTS-SS", "PSM", "SYNC"), num_runs=runs
+        scenario, rates=rates, protocols=("DTS-SS", "PSM", "SYNC"), num_runs=runs, **orch
     )
     print(figure3.to_table(), file=out)
     print(file=out)
@@ -139,13 +180,15 @@ def _print_headline(scenario: ScenarioConfig, runs: Optional[int], out) -> None:
         print(f"  {key} = {value:.1f}%", file=out)
 
 
-def _run_figure(name: str, scenario: ScenarioConfig, runs: Optional[int], out) -> None:
+def _run_figure(
+    name: str, scenario: ScenarioConfig, runs: Optional[int], out, orch
+) -> None:
     if name == "headline":
-        _print_headline(scenario, runs, out)
+        _print_headline(scenario, runs, out, orch)
         return
     description, generator = FIGURES[name]
     print(f"# {name}: {description}", file=out)
-    figure = generator(scenario, runs)
+    figure = generator(scenario, runs, **orch)
     print(figure.to_table(), file=out)
 
 
@@ -155,11 +198,21 @@ def _run_compare(
     base_rate: float,
     runs: Optional[int],
     out,
+    orch,
 ) -> None:
     workload = rate_sweep_workload(base_rate)
+    results = run_protocol_comparison(
+        scenario,
+        protocols,
+        workload=workload,
+        num_runs=runs,
+        parallel=orch.get("jobs"),
+        store=orch.get("store"),
+        progress=orch.get("progress"),
+    )
     rows: Dict[str, Dict[str, float]] = {}
     for protocol in protocols:
-        result = run_experiment(scenario, protocol, workload=workload, num_runs=runs)
+        result = results[protocol]
         # Project lifetimes against the same tree the metrics were computed on.
         tree = build_routing_tree(
             _rebuild_topology(scenario), max_distance_from_root=scenario.max_distance_from_root
@@ -203,15 +256,28 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     scenario = SCALES[args.scale]()
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.cache_dir is not None:
+        from pathlib import Path
+
+        cache_path = Path(args.cache_dir)
+        if cache_path.exists() and not cache_path.is_dir():
+            parser.error(f"--cache-dir {args.cache_dir!r} exists and is not a directory")
+    orch = {
+        "jobs": args.jobs,
+        "store": args.cache_dir,
+        "progress": True if args.progress else None,
+    }
 
     if args.command == "list":
         _run_list(out)
         return 0
     if args.command == "figure":
-        _run_figure(args.name, scenario, args.runs, out)
+        _run_figure(args.name, scenario, args.runs, out, orch)
         return 0
     if args.command == "compare":
-        _run_compare(scenario, args.protocols, args.base_rate, args.runs, out)
+        _run_compare(scenario, args.protocols, args.base_rate, args.runs, out, orch)
         return 0
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -7,15 +7,35 @@ paper plots.  The benchmark suite calls these functions at reduced scale and
 asserts the qualitative shape; pass a paper-scale
 :class:`~repro.experiments.config.ScenarioConfig` (or set
 ``REPRO_FULL_SCALE=1``) to reproduce the full sweeps.
+
+Sweep execution routes through :mod:`repro.orchestrator`: every data point
+of a figure (one protocol at one x-value, replicated ``num_runs`` times)
+expands into content-addressed :class:`~repro.orchestrator.jobs.RunJob`
+objects, and the whole figure's job list is executed as ONE sweep.  Two
+knobs every figure function accepts:
+
+* ``jobs=N`` fans the sweep out over ``N`` worker processes.  Results are
+  bit-identical to the serial path because each job owns its own seeded
+  random universe.
+* ``store=<dir>`` memoises finished runs by job digest in ``<dir>``.  A
+  warm store replays a figure without touching the simulator, and an
+  interrupted full-scale sweep resumes from the completed points on the
+  next invocation with the same store.
+
+The same knobs are exposed on the CLI as ``--jobs`` / ``--cache-dir``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from ..orchestrator.api import (
+    ExperimentSpec,
+    ProgressLike,
+    StoreLike,
+    run_experiments,
+)
 from .config import ScenarioConfig, default_scale
-from .metrics import RunMetrics
-from .runner import ExperimentResult, run_experiment
 from .scenarios import (
     BREAK_EVEN_TIMES,
     DUTY_CYCLE_PROTOCOLS,
@@ -45,15 +65,28 @@ def figure2_deadline_sweep(
     sweep: Optional[Sequence[float]] = None,
     base_rate_hz: float = 5.0,
     num_runs: Optional[int] = None,
+    jobs: int = 1,
+    store: StoreLike = None,
+    progress: ProgressLike = None,
 ) -> FigureResult:
     """Figure 2: STS-SS duty cycle and query latency vs the query deadline."""
     scenario = scenario or default_scale()
     sweep = list(sweep) if sweep is not None else deadlines()
     duty = Series(name="duty_cycle_pct", x=[], y=[])
     latency = Series(name="query_latency_s", x=[], y=[])
-    for deadline in sweep:
-        workload = deadline_sweep_workload(deadline, base_rate_hz=base_rate_hz)
-        result = run_experiment(scenario, "STS-SS", workload=workload, num_runs=num_runs)
+    specs = [
+        ExperimentSpec(
+            scenario=scenario,
+            protocol="STS-SS",
+            workload=deadline_sweep_workload(deadline, base_rate_hz=base_rate_hz),
+            num_runs=num_runs,
+        )
+        for deadline in sweep
+    ]
+    results = run_experiments(
+        specs, workers=jobs, store=store, progress=progress, label="fig2"
+    )
+    for deadline, result in zip(sweep, results):
         duty.x.append(deadline)
         duty.y.append(_percent(result.metrics.average_duty_cycle))
         latency.x.append(deadline)
@@ -86,20 +119,41 @@ def _protocol_sweep(
     metric_of,
     scenario: ScenarioConfig,
     num_runs: Optional[int],
+    jobs: int = 1,
+    store: StoreLike = None,
+    progress: ProgressLike = None,
 ) -> FigureResult:
-    """Shared sweep driver for the rate / query-count comparison figures."""
+    """Shared sweep driver for the rate / query-count comparison figures.
+
+    The whole (protocol x x-value) grid is flattened into one orchestrator
+    sweep, so ``jobs=N`` overlaps simulation runs across the entire figure
+    rather than within one data point.
+    """
     figure = FigureResult(
         figure_id=figure_id, title=title, x_label=x_label, y_label=y_label
     )
-    for protocol in protocols:
-        series = Series(name=protocol, x=[], y=[])
-        for x in x_values:
-            result = run_experiment(
-                scenario, protocol, workload=workload_for_x(x), num_runs=num_runs
-            )
-            series.x.append(float(x))
-            series.y.append(metric_of(result.metrics))
-        figure.series.append(series)
+    grid = [(protocol, x) for protocol in protocols for x in x_values]
+    specs = [
+        ExperimentSpec(
+            scenario=scenario,
+            protocol=protocol,
+            workload=workload_for_x(x),
+            num_runs=num_runs,
+        )
+        for protocol, x in grid
+    ]
+    results = run_experiments(
+        specs, workers=jobs, store=store, progress=progress, label=figure_id
+    )
+    by_protocol: Dict[str, Series] = {}
+    for (protocol, x), result in zip(grid, results):
+        series = by_protocol.get(protocol)
+        if series is None:
+            series = Series(name=protocol, x=[], y=[])
+            by_protocol[protocol] = series
+            figure.series.append(series)
+        series.x.append(float(x))
+        series.y.append(metric_of(result.metrics))
     return figure
 
 
@@ -108,6 +162,9 @@ def figure3_duty_cycle_vs_rate(
     rates: Optional[Sequence[float]] = None,
     protocols: Sequence[str] = DUTY_CYCLE_PROTOCOLS,
     num_runs: Optional[int] = None,
+    jobs: int = 1,
+    store: StoreLike = None,
+    progress: ProgressLike = None,
 ) -> FigureResult:
     """Figure 3: average duty cycle vs base rate, three query classes."""
     scenario = scenario or default_scale()
@@ -123,6 +180,9 @@ def figure3_duty_cycle_vs_rate(
         lambda metrics: _percent(metrics.average_duty_cycle),
         scenario,
         num_runs,
+        jobs=jobs,
+        store=store,
+        progress=progress,
     )
 
 
@@ -131,6 +191,9 @@ def figure4_duty_cycle_vs_queries(
     counts: Optional[Sequence[int]] = None,
     protocols: Sequence[str] = DUTY_CYCLE_PROTOCOLS,
     num_runs: Optional[int] = None,
+    jobs: int = 1,
+    store: StoreLike = None,
+    progress: ProgressLike = None,
 ) -> FigureResult:
     """Figure 4: average duty cycle vs number of queries per class (0.2 Hz)."""
     scenario = scenario or default_scale()
@@ -146,6 +209,9 @@ def figure4_duty_cycle_vs_queries(
         lambda metrics: _percent(metrics.average_duty_cycle),
         scenario,
         num_runs,
+        jobs=jobs,
+        store=store,
+        progress=progress,
     )
 
 
@@ -154,6 +220,9 @@ def figure5_duty_cycle_by_rank(
     base_rate_hz: float = 5.0,
     protocols: Sequence[str] = ESSAT_ONLY,
     num_runs: int = 1,
+    jobs: int = 1,
+    store: StoreLike = None,
+    progress: ProgressLike = None,
 ) -> FigureResult:
     """Figure 5: distribution of duty cycles over node ranks (one typical run)."""
     scenario = scenario or default_scale()
@@ -163,10 +232,19 @@ def figure5_duty_cycle_by_rank(
         x_label="rank",
         y_label="duty cycle (%)",
     )
-    for protocol in protocols:
-        result = run_experiment(
-            scenario, protocol, workload=rate_sweep_workload(base_rate_hz), num_runs=num_runs
+    specs = [
+        ExperimentSpec(
+            scenario=scenario,
+            protocol=protocol,
+            workload=rate_sweep_workload(base_rate_hz),
+            num_runs=num_runs,
         )
+        for protocol in protocols
+    ]
+    results = run_experiments(
+        specs, workers=jobs, store=store, progress=progress, label="Figure 5"
+    )
+    for protocol, result in zip(protocols, results):
         by_rank = result.metrics.duty_cycle_by_rank
         figure.series.append(
             Series(
@@ -183,6 +261,9 @@ def figure6_latency_vs_rate(
     rates: Optional[Sequence[float]] = None,
     protocols: Sequence[str] = LATENCY_PROTOCOLS,
     num_runs: Optional[int] = None,
+    jobs: int = 1,
+    store: StoreLike = None,
+    progress: ProgressLike = None,
 ) -> FigureResult:
     """Figure 6: average query latency vs base rate (log-scale in the paper)."""
     scenario = scenario or default_scale()
@@ -198,6 +279,9 @@ def figure6_latency_vs_rate(
         lambda metrics: metrics.average_query_latency,
         scenario,
         num_runs,
+        jobs=jobs,
+        store=store,
+        progress=progress,
     )
 
 
@@ -206,6 +290,9 @@ def figure7_latency_vs_queries(
     counts: Optional[Sequence[int]] = None,
     protocols: Sequence[str] = LATENCY_PROTOCOLS,
     num_runs: Optional[int] = None,
+    jobs: int = 1,
+    store: StoreLike = None,
+    progress: ProgressLike = None,
 ) -> FigureResult:
     """Figure 7: average query latency vs number of queries per class (0.2 Hz)."""
     scenario = scenario or default_scale()
@@ -221,6 +308,9 @@ def figure7_latency_vs_queries(
         lambda metrics: metrics.average_query_latency,
         scenario,
         num_runs,
+        jobs=jobs,
+        store=store,
+        progress=progress,
     )
 
 
@@ -231,6 +321,9 @@ def figure8_sleep_interval_histogram(
     bin_width: float = 0.025,
     max_interval: float = 0.5,
     num_runs: int = 1,
+    jobs: int = 1,
+    store: StoreLike = None,
+    progress: ProgressLike = None,
 ) -> FigureResult:
     """Figure 8: histogram of sleep-interval lengths with T_BE = 0.
 
@@ -245,10 +338,19 @@ def figure8_sleep_interval_histogram(
         x_label="sleep_interval_upper_edge_s",
         y_label="count",
     )
-    for protocol in protocols:
-        result = run_experiment(
-            scenario, protocol, workload=rate_sweep_workload(base_rate_hz), num_runs=num_runs
+    specs = [
+        ExperimentSpec(
+            scenario=scenario,
+            protocol=protocol,
+            workload=rate_sweep_workload(base_rate_hz),
+            num_runs=num_runs,
         )
+        for protocol in protocols
+    ]
+    results = run_experiments(
+        specs, workers=jobs, store=store, progress=progress, label="Figure 8"
+    )
+    for protocol, result in zip(protocols, results):
         histogram = result.metrics.sleep_interval_histogram(
             bin_width=bin_width, max_value=max_interval
         )
@@ -271,6 +373,9 @@ def figure9_break_even_time(
     break_even_times: Sequence[float] = BREAK_EVEN_TIMES,
     protocol: str = "DTS-SS",
     num_runs: Optional[int] = None,
+    jobs: int = 1,
+    store: StoreLike = None,
+    progress: ProgressLike = None,
 ) -> FigureResult:
     """Figure 9: duty cycle vs base rate for several break-even times.
 
@@ -286,18 +391,28 @@ def figure9_break_even_time(
         x_label="base_rate_hz",
         y_label="duty cycle (%)",
     )
-    for t_be in break_even_times:
-        series = Series(name=f"TBE={t_be * 1e3:g}ms", x=[], y=[])
-        for rate in rates:
-            result = run_experiment(
-                scenario.with_overrides(break_even_time=t_be),
-                protocol,
-                workload=rate_sweep_workload(rate),
-                num_runs=num_runs,
-            )
-            series.x.append(rate)
-            series.y.append(_percent(result.metrics.average_duty_cycle))
-        figure.series.append(series)
+    grid = [(t_be, rate) for t_be in break_even_times for rate in rates]
+    specs = [
+        ExperimentSpec(
+            scenario=scenario.with_overrides(break_even_time=t_be),
+            protocol=protocol,
+            workload=rate_sweep_workload(rate),
+            num_runs=num_runs,
+        )
+        for t_be, rate in grid
+    ]
+    results = run_experiments(
+        specs, workers=jobs, store=store, progress=progress, label="Figure 9"
+    )
+    by_tbe: Dict[float, Series] = {}
+    for (t_be, rate), result in zip(grid, results):
+        series = by_tbe.get(t_be)
+        if series is None:
+            series = Series(name=f"TBE={t_be * 1e3:g}ms", x=[], y=[])
+            by_tbe[t_be] = series
+            figure.series.append(series)
+        series.x.append(rate)
+        series.y.append(_percent(result.metrics.average_duty_cycle))
     return figure
 
 
@@ -305,15 +420,27 @@ def dts_overhead_vs_rate(
     scenario: Optional[ScenarioConfig] = None,
     rates: Optional[Sequence[float]] = None,
     num_runs: Optional[int] = None,
+    jobs: int = 1,
+    store: StoreLike = None,
+    progress: ProgressLike = None,
 ) -> FigureResult:
     """Section 4.2.3: DTS phase-update overhead (bits per data report) vs rate."""
     scenario = scenario or default_scale()
     rates = list(rates) if rates is not None else base_rates()
     series = Series(name="DTS-SS", x=[], y=[])
-    for rate in rates:
-        result = run_experiment(
-            scenario, "DTS-SS", workload=rate_sweep_workload(rate), num_runs=num_runs
+    specs = [
+        ExperimentSpec(
+            scenario=scenario,
+            protocol="DTS-SS",
+            workload=rate_sweep_workload(rate),
+            num_runs=num_runs,
         )
+        for rate in rates
+    ]
+    results = run_experiments(
+        specs, workers=jobs, store=store, progress=progress, label="overhead"
+    )
+    for rate, result in zip(rates, results):
         series.x.append(rate)
         series.y.append(result.extras.get("overhead_bits_per_report", 0.0))
     return FigureResult(

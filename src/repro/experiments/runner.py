@@ -5,6 +5,11 @@ The runner is the glue between the scenario configuration, the substrates
 ESSAT protocols or a baseline), the workload, and the metrics collector.
 Every figure-reproduction function in :mod:`repro.experiments.figures` is a
 thin loop over :func:`run_experiment`.
+
+Execution is delegated to :mod:`repro.orchestrator`: one replication is a
+content-addressed :class:`~repro.orchestrator.jobs.RunJob`, so experiments
+can fan out over worker processes (``parallel=N``) and memoise finished
+runs in an on-disk store (``store=...``) without changing their results.
 """
 
 from __future__ import annotations
@@ -20,13 +25,13 @@ from ..core.protocol import EssatProtocolSuite
 from ..net.node import Network, build_network
 from ..net.topology import Topology, generate_connected_random_topology
 from ..query.query import QuerySpec
-from ..query.workload import WorkloadSpec, generate_queries
+from ..query.workload import WorkloadSpec
 from ..routing.tree import RoutingTree, build_routing_tree
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
 from ..sim.trace import TraceRecorder
 from .config import ScenarioConfig
-from .metrics import DeliveryLog, RunMetrics, average_metrics, collect_metrics
+from .metrics import DeliveryLog, RunMetrics, collect_metrics
 
 #: Protocols the runner knows how to install, in the paper's naming.
 ESSAT_PROTOCOLS = ("NTS-SS", "STS-SS", "DTS-SS")
@@ -40,9 +45,14 @@ class ExperimentResult:
 
     protocol: str
     scenario: ScenarioConfig
+    #: The FIRST replication's query list.  Workload-based experiments
+    #: re-randomize query start times per replication; the full picture is
+    #: in :attr:`per_run_queries`, which this field merely heads.
     queries: List[QuerySpec]
     metrics: RunMetrics
     per_run_metrics: List[RunMetrics] = field(default_factory=list)
+    #: The query list of every replication, in replication order.
+    per_run_queries: List[List[QuerySpec]] = field(default_factory=list)
     #: Optional extra outputs specific protocols expose (e.g. DTS overhead).
     extras: Dict[str, float] = field(default_factory=dict)
 
@@ -166,43 +176,36 @@ def run_experiment(
     workload: Optional[WorkloadSpec] = None,
     queries: Optional[Sequence[QuerySpec]] = None,
     num_runs: Optional[int] = None,
+    parallel: Optional[int] = None,
+    store=None,
+    progress=None,
 ) -> ExperimentResult:
     """Run ``protocol`` under ``scenario`` for one workload, with replications.
 
     Exactly one of ``workload`` (generated per replication with that
     replication's seed, as in the paper where query start times vary per run)
     or ``queries`` (fixed across replications) must be provided.
+
+    Execution routes through :mod:`repro.orchestrator`: ``parallel=N`` fans
+    the replications out over ``N`` worker processes (``None``/``1`` keeps
+    the deterministic in-process path, which produces bit-identical
+    metrics), and ``store`` (a cache directory or an open
+    :class:`~repro.orchestrator.store.ResultStore`) memoises finished
+    replications so repeated or interrupted experiments skip the simulator.
     """
-    if (workload is None) == (queries is None):
-        raise ValueError("provide exactly one of `workload` or `queries`")
-    runs = num_runs if num_runs is not None else scenario.num_runs
-    per_run: List[RunMetrics] = []
-    per_run_extras: List[Dict[str, float]] = []
-    used_queries: List[QuerySpec] = []
-    for replication in range(runs):
-        seed = scenario.seed + replication
-        if workload is not None:
-            run_queries = generate_queries(workload, streams=RandomStreams(seed))
-        else:
-            run_queries = list(queries or [])
-        used_queries = list(run_queries)
-        metrics, extras = run_single(scenario, protocol, run_queries, seed)
-        per_run.append(metrics)
-        per_run_extras.append(extras)
-    combined = average_metrics(per_run)
-    extra_keys = {key for extras in per_run_extras for key in extras}
-    combined_extras = {
-        key: sum(extras.get(key, 0.0) for extras in per_run_extras) / len(per_run_extras)
-        for key in sorted(extra_keys)
-    }
-    return ExperimentResult(
-        protocol=protocol,
+    # Imported here because the orchestrator sits above this module.
+    from ..orchestrator.api import ExperimentSpec, run_experiments
+
+    spec = ExperimentSpec(
         scenario=scenario,
-        queries=used_queries,
-        metrics=combined,
-        per_run_metrics=per_run,
-        extras=combined_extras,
+        protocol=protocol,
+        workload=workload,
+        queries=queries,
+        num_runs=num_runs,
     )
+    return run_experiments(
+        [spec], workers=parallel or 1, store=store, progress=progress
+    )[0]
 
 
 def run_protocol_comparison(
@@ -212,11 +215,24 @@ def run_protocol_comparison(
     workload: Optional[WorkloadSpec] = None,
     queries: Optional[Sequence[QuerySpec]] = None,
     num_runs: Optional[int] = None,
+    parallel: Optional[int] = None,
+    store=None,
+    progress=None,
 ) -> Dict[str, ExperimentResult]:
-    """Run several protocols under the identical scenario and workload."""
-    return {
-        protocol: run_experiment(
-            scenario, protocol, workload=workload, queries=queries, num_runs=num_runs
-        )
-        for protocol in protocols
-    }
+    """Run several protocols under the identical scenario and workload.
+
+    All protocols' replications are flattened into one sweep, so
+    ``parallel=N`` overlaps runs *across* protocols, not only within one.
+    """
+    from ..orchestrator.api import run_protocol_sweep
+
+    return run_protocol_sweep(
+        scenario,
+        protocols,
+        workload=workload,
+        queries=queries,
+        num_runs=num_runs,
+        workers=parallel or 1,
+        store=store,
+        progress=progress,
+    )

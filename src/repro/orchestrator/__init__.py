@@ -1,0 +1,52 @@
+"""Sweep orchestration: parallel execution and content-addressed caching.
+
+Every figure in the paper's evaluation is a sweep (rates x protocols x
+replications) over independent simulation runs.  This package is the
+scheduling layer above the simulation kernel: it turns each run into a
+hashable :class:`~repro.orchestrator.jobs.RunJob`, fans jobs out over a
+process pool (:mod:`~repro.orchestrator.executor`), memoises finished runs
+in an on-disk content-addressed store (:mod:`~repro.orchestrator.store`),
+and reports wall-clock progress (:mod:`~repro.orchestrator.progress`).
+
+The high-level entry points live in :mod:`~repro.orchestrator.api`:
+:func:`~repro.orchestrator.api.run_sweep` executes a list of jobs and
+:func:`~repro.orchestrator.api.run_experiments` executes whole experiments
+(replication fan-out plus metric averaging) through the same machinery.
+"""
+
+from .api import ExperimentSpec, run_experiments, run_protocol_sweep, run_sweep
+from .executor import JobResult, SweepExecutor, execute_job
+from .jobs import (
+    RunJob,
+    expand_experiment,
+    metrics_from_dict,
+    metrics_to_dict,
+    scenario_from_dict,
+    scenario_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from .progress import NullProgress, ProgressReporter
+from .store import ResultStore, open_store
+
+__all__ = [
+    "ExperimentSpec",
+    "JobResult",
+    "NullProgress",
+    "ProgressReporter",
+    "ResultStore",
+    "RunJob",
+    "SweepExecutor",
+    "execute_job",
+    "expand_experiment",
+    "metrics_from_dict",
+    "metrics_to_dict",
+    "open_store",
+    "run_experiments",
+    "run_protocol_sweep",
+    "run_sweep",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "workload_from_dict",
+    "workload_to_dict",
+]

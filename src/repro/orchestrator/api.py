@@ -1,0 +1,179 @@
+"""High-level orchestration API: sweeps and whole experiments.
+
+:func:`run_sweep` is the primitive every harness layer routes through: it
+takes a list of :class:`~repro.orchestrator.jobs.RunJob`, executes them with
+``workers`` processes against an optional content-addressed store, and
+returns results in input order.
+
+:func:`run_experiments` is the batched experiment front-end used by
+:func:`repro.experiments.runner.run_experiment` and the figure sweeps in
+:mod:`repro.experiments.figures`: it flattens many experiments (each a
+protocol x workload point with replications) into ONE job list, runs that
+list through :func:`run_sweep`, and reassembles per-experiment
+:class:`~repro.experiments.runner.ExperimentResult` objects.  Flattening is
+what makes figure sweeps parallel even at reduced scale, where each
+experiment has a single replication: the fan-out is across sweep points,
+not only across replications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..experiments.metrics import average_metrics
+from ..experiments.runner import ExperimentResult
+from ..query.query import QuerySpec
+from ..query.workload import WorkloadSpec
+from ..experiments.config import ScenarioConfig
+from .executor import JobResult, SweepExecutor
+from .jobs import RunJob, expand_experiment
+from .progress import NullProgress, ProgressReporter
+from .store import ResultStore, open_store
+
+#: What callers may pass as a store: nothing, a cache directory, or a store.
+StoreLike = Union[None, str, Path, ResultStore]
+
+#: What callers may pass as progress: nothing, ``True`` (stderr reporter),
+#: or a reporter instance.
+ProgressLike = Union[None, bool, NullProgress]
+
+
+def _coerce_progress(progress: ProgressLike, label: str) -> NullProgress:
+    if progress is None or progress is False:
+        return NullProgress()
+    if progress is True:
+        return ProgressReporter(label=label)
+    return progress
+
+
+def run_sweep(
+    jobs: Sequence[RunJob],
+    *,
+    workers: int = 1,
+    store: StoreLike = None,
+    progress: ProgressLike = None,
+    label: str = "sweep",
+) -> List[JobResult]:
+    """Execute ``jobs`` and return one :class:`JobResult` per job, in order.
+
+    ``workers=1`` is a plain in-process loop (deterministic fallback);
+    ``workers>1`` fans out over a process pool.  Both paths produce
+    bit-identical metrics for the same jobs.  ``store`` may be a cache
+    directory path or an open :class:`ResultStore`; jobs found there are
+    returned without running the simulator.
+    """
+    executor = SweepExecutor(
+        workers=workers,
+        store=open_store(store),
+        progress=_coerce_progress(progress, label),
+    )
+    return executor.run(jobs)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment: a protocol under a scenario with a workload and runs.
+
+    The orchestrated equivalent of one
+    :func:`repro.experiments.runner.run_experiment` call.
+    """
+
+    scenario: ScenarioConfig
+    protocol: str
+    workload: Optional[WorkloadSpec] = None
+    queries: Optional[Sequence[QuerySpec]] = None
+    num_runs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.workload is None) == (self.queries is None):
+            raise ValueError("provide exactly one of `workload` or `queries`")
+
+    def expand(self) -> List[RunJob]:
+        """The replication jobs of this experiment."""
+        return expand_experiment(
+            self.scenario,
+            self.protocol,
+            workload=self.workload,
+            queries=self.queries,
+            num_runs=self.num_runs,
+        )
+
+
+def _assemble_experiment(
+    spec: ExperimentSpec, job_results: Sequence[JobResult]
+) -> ExperimentResult:
+    """Fold one experiment's per-replication results into a result object."""
+    per_run = [result.metrics for result in job_results]
+    per_run_extras = [result.extras for result in job_results]
+    per_run_queries = [result.job.resolve_queries() for result in job_results]
+    extra_keys = {key for extras in per_run_extras for key in extras}
+    combined_extras = {
+        key: sum(extras.get(key, 0.0) for extras in per_run_extras) / len(per_run_extras)
+        for key in sorted(extra_keys)
+    }
+    return ExperimentResult(
+        protocol=spec.protocol,
+        scenario=spec.scenario,
+        queries=list(per_run_queries[0]),
+        metrics=average_metrics(per_run),
+        per_run_metrics=per_run,
+        per_run_queries=per_run_queries,
+        extras=combined_extras,
+    )
+
+
+def run_experiments(
+    specs: Sequence[ExperimentSpec],
+    *,
+    workers: int = 1,
+    store: StoreLike = None,
+    progress: ProgressLike = None,
+    label: str = "sweep",
+) -> List[ExperimentResult]:
+    """Run many experiments through one flattened job sweep.
+
+    Returns one :class:`ExperimentResult` per spec, in input order, with
+    metrics identical to calling ``run_experiment`` on each spec serially.
+    """
+    specs = list(specs)
+    jobs: List[RunJob] = []
+    spans: List[tuple] = []
+    for spec in specs:
+        expanded = spec.expand()
+        spans.append((len(jobs), len(jobs) + len(expanded)))
+        jobs.extend(expanded)
+    results = run_sweep(jobs, workers=workers, store=store, progress=progress, label=label)
+    return [
+        _assemble_experiment(spec, results[start:stop])
+        for spec, (start, stop) in zip(specs, spans)
+    ]
+
+
+def run_protocol_sweep(
+    scenario: ScenarioConfig,
+    protocols: Sequence[str],
+    *,
+    workload: Optional[WorkloadSpec] = None,
+    queries: Optional[Sequence[QuerySpec]] = None,
+    num_runs: Optional[int] = None,
+    workers: int = 1,
+    store: StoreLike = None,
+    progress: ProgressLike = None,
+) -> Dict[str, ExperimentResult]:
+    """Run several protocols under one identical scenario and workload."""
+    specs = [
+        ExperimentSpec(
+            scenario=scenario,
+            protocol=protocol,
+            workload=workload,
+            queries=queries,
+            num_runs=num_runs,
+        )
+        for protocol in protocols
+    ]
+    results = run_experiments(
+        specs, workers=workers, store=store, progress=progress, label="compare"
+    )
+    return {spec.protocol: result for spec, result in zip(specs, results)}

@@ -1,0 +1,331 @@
+"""Run jobs: the unit of work the orchestrator schedules and caches.
+
+A :class:`RunJob` is one simulation run -- a ``(scenario, protocol,
+workload-or-queries, seed)`` tuple, i.e. exactly the arguments of
+:func:`repro.experiments.runner.run_single` plus the recipe for the queries.
+Jobs are immutable, JSON-serializable, and carry a stable content digest:
+two jobs with the same parameters hash to the same digest on any machine
+and any Python version, which is what makes the on-disk result store
+content-addressed and lets interrupted sweeps resume where they left off.
+
+This module also owns the JSON round-trip helpers for the configuration and
+metric dataclasses (:class:`~repro.experiments.config.ScenarioConfig`,
+:class:`~repro.query.workload.WorkloadSpec`,
+:class:`~repro.query.query.QuerySpec`,
+:class:`~repro.experiments.metrics.RunMetrics`), so that cached results can
+be rebuilt bit-for-bit from the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..experiments.config import ScenarioConfig
+from ..experiments.metrics import RunMetrics
+from ..mac.base import MacConfig
+from ..query.aggregation import AggregationFunction
+from ..query.query import QuerySpec, SourceSelection
+from ..query.workload import WorkloadSpec, generate_queries
+from ..radio.energy import PowerProfile
+from ..sim.rng import RandomStreams
+
+#: Bump when the job or record serialization format changes; digests embed
+#: this so stale store entries are never mistaken for current ones.
+SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Configuration serialization
+# ---------------------------------------------------------------------------
+
+def _power_profile_to_dict(profile: PowerProfile) -> Dict[str, Any]:
+    return {
+        "name": profile.name,
+        "tx_power": profile.tx_power,
+        "rx_power": profile.rx_power,
+        "idle_power": profile.idle_power,
+        "sleep_power": profile.sleep_power,
+        "transition_power": profile.transition_power,
+        "t_off_to_on": profile.t_off_to_on,
+        "t_on_to_off": profile.t_on_to_off,
+    }
+
+
+def _power_profile_from_dict(data: Dict[str, Any]) -> PowerProfile:
+    return PowerProfile(**data)
+
+
+def _mac_config_to_dict(config: MacConfig) -> Dict[str, Any]:
+    return {
+        "bandwidth_bps": config.bandwidth_bps,
+        "slot_time": config.slot_time,
+        "sifs": config.sifs,
+        "difs": config.difs,
+        "cw_min": config.cw_min,
+        "cw_max": config.cw_max,
+        "max_retries": config.max_retries,
+        "use_acks": config.use_acks,
+        "queue_capacity": config.queue_capacity,
+        "header_bytes": config.header_bytes,
+        "ack_timeout_slack_slots": config.ack_timeout_slack_slots,
+    }
+
+
+def _mac_config_from_dict(data: Dict[str, Any]) -> MacConfig:
+    return MacConfig(**data)
+
+
+def scenario_to_dict(scenario: ScenarioConfig) -> Dict[str, Any]:
+    """JSON-safe representation of a :class:`ScenarioConfig`."""
+    return {
+        "num_nodes": scenario.num_nodes,
+        "area": list(scenario.area),
+        "comm_range": scenario.comm_range,
+        "max_distance_from_root": scenario.max_distance_from_root,
+        "duration": scenario.duration,
+        "num_runs": scenario.num_runs,
+        "seed": scenario.seed,
+        "power_profile": _power_profile_to_dict(scenario.power_profile),
+        "break_even_time": scenario.break_even_time,
+        "mac_config": _mac_config_to_dict(scenario.mac_config),
+        "measure_from": scenario.measure_from,
+    }
+
+
+def scenario_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
+    """Inverse of :func:`scenario_to_dict`."""
+    return ScenarioConfig(
+        num_nodes=data["num_nodes"],
+        area=tuple(data["area"]),
+        comm_range=data["comm_range"],
+        max_distance_from_root=data["max_distance_from_root"],
+        duration=data["duration"],
+        num_runs=data["num_runs"],
+        seed=data["seed"],
+        power_profile=_power_profile_from_dict(data["power_profile"]),
+        break_even_time=data["break_even_time"],
+        mac_config=_mac_config_from_dict(data["mac_config"]),
+        measure_from=data["measure_from"],
+    )
+
+
+def workload_to_dict(workload: WorkloadSpec) -> Dict[str, Any]:
+    """JSON-safe representation of a :class:`WorkloadSpec`."""
+    return {
+        "base_rate_hz": workload.base_rate_hz,
+        "queries_per_class": workload.queries_per_class,
+        "class_rate_ratio": list(workload.class_rate_ratio),
+        "start_window": list(workload.start_window),
+        "aggregation": workload.aggregation.value,
+        "sources": workload.sources.value,
+        "deadline": workload.deadline,
+    }
+
+
+def workload_from_dict(data: Dict[str, Any]) -> WorkloadSpec:
+    """Inverse of :func:`workload_to_dict`."""
+    return WorkloadSpec(
+        base_rate_hz=data["base_rate_hz"],
+        queries_per_class=data["queries_per_class"],
+        class_rate_ratio=tuple(data["class_rate_ratio"]),
+        start_window=tuple(data["start_window"]),
+        aggregation=AggregationFunction(data["aggregation"]),
+        sources=SourceSelection(data["sources"]),
+        deadline=data["deadline"],
+    )
+
+
+def query_to_dict(query: QuerySpec) -> Dict[str, Any]:
+    """JSON-safe representation of a :class:`QuerySpec`."""
+    if isinstance(query.sources, SourceSelection):
+        sources: Any = {"policy": query.sources.value}
+    else:
+        sources = {"nodes": sorted(query.sources)}
+    return {
+        "query_id": query.query_id,
+        "period": query.period,
+        "start_time": query.start_time,
+        "sources": sources,
+        "aggregation": query.aggregation.value,
+        "deadline": query.deadline,
+        "duration": query.duration,
+    }
+
+
+def query_from_dict(data: Dict[str, Any]) -> QuerySpec:
+    """Inverse of :func:`query_to_dict`."""
+    sources_data = data["sources"]
+    if "policy" in sources_data:
+        sources: Any = SourceSelection(sources_data["policy"])
+    else:
+        sources = frozenset(sources_data["nodes"])
+    return QuerySpec(
+        query_id=data["query_id"],
+        period=data["period"],
+        start_time=data["start_time"],
+        sources=sources,
+        aggregation=AggregationFunction(data["aggregation"]),
+        deadline=data["deadline"],
+        duration=data["duration"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Metrics serialization
+# ---------------------------------------------------------------------------
+
+def _int_keyed(data: Dict[str, float]) -> Dict[int, float]:
+    """JSON object keys are strings; restore the int node/rank keys."""
+    return {int(key): value for key, value in data.items()}
+
+
+def metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
+    """JSON-safe representation of a :class:`RunMetrics`."""
+    return {
+        "protocol": metrics.protocol,
+        "duration": metrics.duration,
+        "average_duty_cycle": metrics.average_duty_cycle,
+        "duty_cycle_per_node": {str(k): v for k, v in metrics.duty_cycle_per_node.items()},
+        "duty_cycle_by_rank": {str(k): v for k, v in metrics.duty_cycle_by_rank.items()},
+        "average_query_latency": metrics.average_query_latency,
+        "max_query_latency": metrics.max_query_latency,
+        "deliveries": metrics.deliveries,
+        "delivery_ratio": metrics.delivery_ratio,
+        "energy_per_node": {str(k): v for k, v in metrics.energy_per_node.items()},
+        "sleep_intervals": list(metrics.sleep_intervals),
+        "channel_stats": dict(metrics.channel_stats),
+    }
+
+
+def metrics_from_dict(data: Dict[str, Any]) -> RunMetrics:
+    """Inverse of :func:`metrics_to_dict`.
+
+    Python's ``json`` module serializes floats via ``repr`` and parses them
+    back exactly, so a metrics object survives the round trip bit-for-bit --
+    the property the warm-store determinism tests assert.
+    """
+    return RunMetrics(
+        protocol=data["protocol"],
+        duration=data["duration"],
+        average_duty_cycle=data["average_duty_cycle"],
+        duty_cycle_per_node=_int_keyed(data["duty_cycle_per_node"]),
+        duty_cycle_by_rank=_int_keyed(data["duty_cycle_by_rank"]),
+        average_query_latency=data["average_query_latency"],
+        max_query_latency=data["max_query_latency"],
+        deliveries=data["deliveries"],
+        delivery_ratio=data["delivery_ratio"],
+        energy_per_node=_int_keyed(data["energy_per_node"]),
+        sleep_intervals=list(data["sleep_intervals"]),
+        channel_stats=dict(data["channel_stats"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The job itself
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunJob:
+    """One simulation run, fully described and content-addressable.
+
+    Exactly one of ``workload`` (queries are generated with this job's seed,
+    matching the paper's per-replication randomized start times) or
+    ``queries`` (an explicit fixed query list) is set.
+    """
+
+    scenario: ScenarioConfig
+    protocol: str
+    seed: int
+    workload: Optional[WorkloadSpec] = None
+    queries: Optional[Tuple[QuerySpec, ...]] = None
+
+    def __post_init__(self) -> None:
+        if (self.workload is None) == (self.queries is None):
+            raise ValueError("provide exactly one of `workload` or `queries`")
+        if self.queries is not None and not isinstance(self.queries, tuple):
+            object.__setattr__(self, "queries", tuple(self.queries))
+
+    def resolve_queries(self) -> List[QuerySpec]:
+        """The concrete query list this job runs.
+
+        Workload-based jobs regenerate their queries deterministically from
+        ``(workload, seed)``, so resolving is cheap and reproducible; fixed
+        query lists are returned as-is.
+        """
+        if self.workload is not None:
+            return generate_queries(self.workload, streams=RandomStreams(self.seed))
+        return list(self.queries or ())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation (the digest is computed over this)."""
+        return {
+            "version": SCHEMA_VERSION,
+            "scenario": scenario_to_dict(self.scenario),
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "workload": None if self.workload is None else workload_to_dict(self.workload),
+            "queries": None
+            if self.queries is None
+            else [query_to_dict(query) for query in self.queries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunJob":
+        """Inverse of :meth:`to_dict`."""
+        queries = data["queries"]
+        return cls(
+            scenario=scenario_from_dict(data["scenario"]),
+            protocol=data["protocol"],
+            seed=data["seed"],
+            workload=None if data["workload"] is None else workload_from_dict(data["workload"]),
+            queries=None if queries is None else tuple(query_from_dict(q) for q in queries),
+        )
+
+    @property
+    def digest(self) -> str:
+        """Stable SHA-256 content digest of this job's parameters."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable label for logs and progress lines."""
+        if self.workload is not None:
+            detail = f"rate={self.workload.base_rate_hz:g}Hz x{self.workload.queries_per_class}"
+        else:
+            detail = f"{len(self.queries or ())} fixed queries"
+        return f"{self.protocol} seed={self.seed} {detail}"
+
+
+def expand_experiment(
+    scenario: ScenarioConfig,
+    protocol: str,
+    *,
+    workload: Optional[WorkloadSpec] = None,
+    queries: Optional[Sequence[QuerySpec]] = None,
+    num_runs: Optional[int] = None,
+) -> List[RunJob]:
+    """One :class:`RunJob` per replication of one experiment.
+
+    Replication ``i`` uses ``scenario.seed + i``, exactly as the serial
+    :func:`repro.experiments.runner.run_experiment` loop always has, so the
+    orchestrated path reproduces its results bit-for-bit.
+    """
+    if (workload is None) == (queries is None):
+        raise ValueError("provide exactly one of `workload` or `queries`")
+    runs = num_runs if num_runs is not None else scenario.num_runs
+    if runs <= 0:
+        raise ValueError(f"number of runs must be positive, got {runs!r}")
+    fixed = None if queries is None else tuple(queries)
+    return [
+        RunJob(
+            scenario=scenario,
+            protocol=protocol,
+            seed=scenario.seed + replication,
+            workload=workload,
+            queries=fixed,
+        )
+        for replication in range(runs)
+    ]

@@ -1,0 +1,102 @@
+"""Wall-clock progress and ETA reporting for sweep execution.
+
+The full-scale figure suite runs hundreds of simulations; the reporter
+prints a compact line as jobs finish (rate-limited so a fast cached sweep
+does not spam the terminal) plus a final summary separating executed from
+cache-hit jobs.  Tests and library callers use :class:`NullProgress`, which
+swallows everything.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+class NullProgress:
+    """A no-op reporter (the default for library and test use)."""
+
+    def start(self, total: int) -> None:
+        pass
+
+    def job_done(self, *, cached: bool, label: str = "") -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+
+class ProgressReporter(NullProgress):
+    """Prints ``[sweep] done/total`` lines with elapsed time and an ETA.
+
+    The ETA is extrapolated from executed (non-cached) jobs only: cache
+    hits complete in microseconds and would otherwise make the estimate
+    wildly optimistic for the simulator runs still ahead.
+    """
+
+    def __init__(
+        self,
+        *,
+        label: str = "sweep",
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.5,
+    ) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.total = 0
+        self.done = 0
+        self.cached = 0
+        self._started_at = 0.0
+        self._last_print = 0.0
+
+    def start(self, total: int) -> None:
+        self.total = total
+        self.done = 0
+        self.cached = 0
+        self._started_at = time.monotonic()
+        self._last_print = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start`."""
+        return time.monotonic() - self._started_at
+
+    def eta(self) -> Optional[float]:
+        """Estimated seconds remaining, or ``None`` before any executed job."""
+        executed = self.done - self.cached
+        if executed <= 0:
+            return None
+        remaining = self.total - self.done
+        return remaining * (self.elapsed / executed)
+
+    def _format_line(self, label: str) -> str:
+        parts = [f"[{self.label}] {self.done}/{self.total}"]
+        if self.cached:
+            parts.append(f"({self.cached} cached)")
+        parts.append(f"elapsed {self.elapsed:.1f}s")
+        eta = self.eta()
+        if eta is not None and self.done < self.total:
+            parts.append(f"eta {eta:.1f}s")
+        if label:
+            parts.append(f"- {label}")
+        return " ".join(parts)
+
+    def job_done(self, *, cached: bool, label: str = "") -> None:
+        self.done += 1
+        if cached:
+            self.cached += 1
+        now = time.monotonic()
+        final = self.done >= self.total
+        if final or now - self._last_print >= self.min_interval:
+            self._last_print = now
+            print(self._format_line(label), file=self.stream)
+
+    def finish(self) -> None:
+        executed = self.done - self.cached
+        print(
+            f"[{self.label}] finished: {executed} executed, "
+            f"{self.cached} cached, {self.elapsed:.1f}s",
+            file=self.stream,
+        )

@@ -1,0 +1,101 @@
+"""On-disk content-addressed result store.
+
+Finished runs are appended to a JSONL file keyed by the job's content
+digest (:attr:`repro.orchestrator.jobs.RunJob.digest`).  Because the key is
+derived from the complete job description, a store can be shared freely
+between sweeps: any sweep that needs the same ``(scenario, protocol,
+workload, seed)`` point -- a re-run, a resumed interrupted sweep, or a
+different figure touching the same point -- gets a cache hit and skips the
+simulator entirely.
+
+The format is deliberately simple (one JSON object per line, last write
+wins) so a store survives interrupted processes: a partially written final
+line is detected and ignored on load, and everything before it is reused.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from .jobs import SCHEMA_VERSION
+
+#: File inside the cache directory that holds the result records.
+STORE_FILENAME = "results.jsonl"
+
+
+class ResultStore:
+    """A directory-backed digest -> record mapping with JSONL persistence."""
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        if self.cache_dir.exists() and not self.cache_dir.is_dir():
+            raise NotADirectoryError(
+                f"cache dir {str(self.cache_dir)!r} exists and is not a directory"
+            )
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.cache_dir / STORE_FILENAME
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A run interrupted mid-append leaves a truncated last
+                    # line; everything before it is still valid.
+                    continue
+                if record.get("version") != SCHEMA_VERSION:
+                    continue
+                digest = record.get("digest")
+                if digest:
+                    self._records[digest] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._records
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The stored record for ``digest``, or ``None`` on a cache miss."""
+        return self._records.get(digest)
+
+    def put(self, digest: str, record: Dict[str, Any]) -> None:
+        """Persist ``record`` under ``digest`` (appends one JSONL line)."""
+        stored = dict(record)
+        stored["digest"] = digest
+        stored["version"] = SCHEMA_VERSION
+        self._records[digest] = stored
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(stored, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def digests(self) -> Iterator[str]:
+        """All digests currently in the store."""
+        return iter(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.path)!r}, {len(self)} records)"
+
+
+def open_store(
+    store: Union[None, str, Path, ResultStore]
+) -> Optional[ResultStore]:
+    """Coerce a cache-dir path (or an already-open store) to a store.
+
+    ``None`` stays ``None`` -- callers treat that as "caching disabled".
+    """
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)

@@ -32,6 +32,24 @@ class TestParser:
         assert args.runs == 2
         assert args.name == "fig3"
 
+    def test_parser_accepts_orchestrator_flags(self) -> None:
+        args = build_parser().parse_args(
+            ["--jobs", "4", "--cache-dir", "/tmp/essat-cache", "--progress", "figure", "fig3"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/essat-cache"
+        assert args.progress is True
+
+    def test_orchestrator_flags_default_off(self) -> None:
+        args = build_parser().parse_args(["figure", "fig3"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.progress is False
+
+    def test_invalid_jobs_rejected(self) -> None:
+        with pytest.raises(SystemExit):
+            main(["--jobs", "0", "list"])
+
 
 class TestCommands:
     def test_list_command(self) -> None:
@@ -53,6 +71,26 @@ class TestCommands:
         code = main(["--scale", "smoke", "--runs", "1", "figure", "overhead"], out=out)
         assert code == 0
         assert "bits/report" in out.getvalue()
+
+    def test_figure_command_with_jobs_and_cache_dir(self, tmp_path) -> None:
+        cache_dir = str(tmp_path / "cache")
+        cold = io.StringIO()
+        code = main(
+            ["--scale", "smoke", "--runs", "1", "--jobs", "2", "--cache-dir", cache_dir,
+             "figure", "fig5"],
+            out=cold,
+        )
+        assert code == 0
+        assert (tmp_path / "cache" / "results.jsonl").exists()
+        # A warm cache replays the figure without the simulator and must
+        # print the identical table.
+        warm = io.StringIO()
+        code = main(
+            ["--scale", "smoke", "--runs", "1", "--cache-dir", cache_dir, "figure", "fig5"],
+            out=warm,
+        )
+        assert code == 0
+        assert warm.getvalue() == cold.getvalue()
 
     def test_compare_command(self) -> None:
         out = io.StringIO()
