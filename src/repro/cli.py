@@ -6,6 +6,9 @@ Exposes the experiment harness without writing any Python:
   and prints the series as a table,
 * ``python -m repro.cli compare --base-rate 2`` runs every protocol on one
   workload and prints a duty-cycle / latency / lifetime comparison,
+* ``python -m repro.cli scenarios list`` / ``scenarios run <family>`` work
+  with the scenario registry (clustered, corridor, density, size,
+  radio-profiles, churn, ... -- evaluation axes beyond the paper),
 * ``python -m repro.cli list`` shows the available figures and protocols.
 
 The ``--scale`` option selects the scenario size (``smoke`` for seconds-long
@@ -26,7 +29,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from .experiments.config import ScenarioConfig, paper_scale, reduced_scale, smoke_scale
 from .experiments.figures import (
+    delivery_ratio_under_churn,
     dts_overhead_vs_rate,
+    duty_cycle_vs_density,
     figure2_deadline_sweep,
     figure3_duty_cycle_vs_rate,
     figure4_duty_cycle_vs_queries,
@@ -107,6 +112,18 @@ FIGURES: Dict[str, tuple] = {
             scenario, num_runs=runs, **orch
         ),
     ),
+    "density": (
+        "average duty cycle vs node density (scenario registry, beyond the paper)",
+        lambda scenario, runs, **orch: duty_cycle_vs_density(
+            scenario, num_runs=runs, **orch
+        ),
+    ),
+    "churn": (
+        "delivery ratio under scheduled node failures (scenario registry, beyond the paper)",
+        lambda scenario, runs, **orch: delivery_ratio_under_churn(
+            scenario, num_runs=runs, **orch
+        ),
+    ),
 }
 
 
@@ -157,6 +174,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=list(ALL_PROTOCOLS),
         choices=list(ALL_PROTOCOLS),
         help="protocols to include",
+    )
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="work with the scenario registry (families beyond the paper)"
+    )
+    scenarios_sub = scenarios_parser.add_subparsers(dest="scenarios_command", required=True)
+    scenarios_sub.add_parser("list", help="list registered scenario families")
+    scenarios_run = scenarios_sub.add_parser(
+        "run", help="run one scenario family as a single orchestrated sweep"
+    )
+    scenarios_run.add_argument("name", help="family name (see `scenarios list`)")
+    scenarios_run.add_argument(
+        "--protocols",
+        nargs="+",
+        default=None,
+        choices=list(ALL_PROTOCOLS),
+        help="protocols to run each variant under (default: DTS-SS)",
     )
 
     subparsers.add_parser("list", help="list available figures, protocols and scales")
@@ -241,6 +275,50 @@ def _rebuild_topology(scenario: ScenarioConfig):
     return build_scenario_topology(scenario, scenario.seed)
 
 
+def _run_scenarios_list(scenario: ScenarioConfig, out) -> None:
+    from .scenarios import all_families
+
+    print("scenario families (x = sweep axis, variants at the selected scale):", file=out)
+    for family in all_families():
+        count = len(family.variants(scenario))
+        print(
+            f"  {family.name:15s} {count} variant(s), x={family.x_label}: {family.description}",
+            file=out,
+        )
+
+
+def _run_scenarios_run(
+    name: str,
+    scenario: ScenarioConfig,
+    protocols: Optional[Sequence[str]],
+    runs: Optional[int],
+    out,
+    orch,
+) -> None:
+    from .scenarios import DEFAULT_FAMILY_PROTOCOLS, get_family, run_family
+
+    try:
+        family = get_family(name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        raise SystemExit(2)
+    result = run_family(
+        family,
+        base=scenario,
+        protocols=protocols or DEFAULT_FAMILY_PROTOCOLS,
+        num_runs=runs,
+        workers=orch.get("jobs") or 1,
+        store=orch.get("store"),
+        progress=orch.get("progress"),
+    )
+    print(f"# scenario family {family.name}: {family.description}", file=out)
+    print(result.table(), file=out)
+    print(
+        f"runs: {result.executed_runs} executed, {result.cached_runs} from cache",
+        file=out,
+    )
+
+
 def _run_list(out) -> None:
     print("figures:", file=out)
     for name in sorted(FIGURES):
@@ -248,6 +326,10 @@ def _run_list(out) -> None:
     print("  headline  the abstract's duty-cycle and latency reduction claims", file=out)
     print("protocols: " + ", ".join(ALL_PROTOCOLS), file=out)
     print("scales   : " + ", ".join(sorted(SCALES)), file=out)
+    from .scenarios import family_names
+
+    print("scenario families: " + ", ".join(family_names()), file=out)
+    print("                   (details: `scenarios list`; run: `scenarios run <name>`)", file=out)
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -278,6 +360,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return 0
     if args.command == "compare":
         _run_compare(scenario, args.protocols, args.base_rate, args.runs, out, orch)
+        return 0
+    if args.command == "scenarios":
+        if args.scenarios_command == "list":
+            _run_scenarios_list(scenario, out)
+        else:
+            _run_scenarios_run(args.name, scenario, args.protocols, args.runs, out, orch)
         return 0
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

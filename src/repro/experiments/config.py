@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from ..mac.base import MacConfig
+from ..net.topology import FailureSchedule, TopologySpec
 from ..radio.energy import IDEAL, PowerProfile
 from ..sim.units import mbps
 
@@ -58,6 +59,11 @@ class ScenarioConfig:
     mac_config: MacConfig = field(default_factory=lambda: MacConfig(bandwidth_bps=mbps(1)))
     #: Start measuring metrics at this time (0 = from the beginning).
     measure_from: float = 0.0
+    #: Which placement generator to use (uniform random, clustered hot-spots,
+    #: corridor chain, ...); the paper's setup is the uniform default.
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    #: Scheduled permanent node failures (churn); ``None`` = no failures.
+    failure_schedule: Optional[FailureSchedule] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 1:

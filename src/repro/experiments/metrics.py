@@ -171,9 +171,23 @@ def collect_metrics(
 
     if delivery_margin is None:
         delivery_margin = max((q.period for q in queries), default=0.0)
-    total_expected = sum(expected_periods(q, duration, margin=delivery_margin) for q in queries)
+    expected_by_query = {
+        q.query_id: expected_periods(q, duration, margin=delivery_margin) for q in queries
+    }
+    total_expected = sum(expected_by_query.values())
     delivered = len(deliveries.records)
-    delivery_ratio = min(1.0, delivered / total_expected) if total_expected else 0.0
+    # A (query, period) instance counts at most once, no matter how many
+    # times the root saw it delivered: duplicates must not inflate the ratio.
+    # Periods past the margin-trimmed horizon are excluded from the numerator
+    # exactly as they are from the denominator, so the ratio is in [0, 1]
+    # by construction rather than by clamping.
+    distinct_instances = {(r.query_id, r.report_index) for r in deliveries.records}
+    countable = sum(
+        1
+        for query_id, report_index in distinct_instances
+        if report_index < expected_by_query.get(query_id, 0)
+    )
+    delivery_ratio = countable / total_expected if total_expected else 0.0
 
     average_duty = (
         sum(duty_per_node.values()) / len(duty_per_node) if duty_per_node else 0.0

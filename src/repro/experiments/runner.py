@@ -23,7 +23,12 @@ from ..baselines.span import SpanSuite
 from ..baselines.sync import SyncSuite
 from ..core.protocol import EssatProtocolSuite
 from ..net.node import Network, build_network
-from ..net.topology import Topology, generate_connected_random_topology
+from ..net.topology import (
+    FailureSchedule,
+    Topology,
+    build_topology_from_spec,
+    generate_connected_topology,
+)
 from ..query.query import QuerySpec
 from ..query.workload import WorkloadSpec
 from ..routing.tree import RoutingTree, build_routing_tree
@@ -106,13 +111,116 @@ def build_protocol_suite(
 
 
 def build_scenario_topology(scenario: ScenarioConfig, seed: int) -> Topology:
-    """Random connected placement for one replication of ``scenario``."""
-    return generate_connected_random_topology(
-        num_nodes=scenario.num_nodes,
-        area=scenario.area,
-        comm_range=scenario.comm_range,
+    """Connected placement for one replication of ``scenario``.
+
+    Dispatches on ``scenario.topology`` (uniform random by default, matching
+    the paper; clustered / corridor for the registry's scenario families) and
+    redraws until the placement is connected.
+    """
+    return generate_connected_topology(
+        lambda forked: build_topology_from_spec(
+            scenario.topology,
+            num_nodes=scenario.num_nodes,
+            area=scenario.area,
+            comm_range=scenario.comm_range,
+            streams=forked,
+        ),
         streams=RandomStreams(seed),
     )
+
+
+def _drop_partitioning_failures(
+    events: List[tuple],
+    explicit: set,
+    topology: Topology,
+    tree: RoutingTree,
+) -> List[tuple]:
+    """Filter out fraction-drawn victims that would partition the survivors.
+
+    Applies the planned failures in time order to a scratch copy of the
+    topology (via :meth:`Topology.remove_node`) and keeps a victim only if
+    every surviving tree node still reaches the root over the remaining
+    physical graph -- a necessary condition for tree repair to succeed at
+    all.  Explicit ``(time, node)`` events are kept without the partition
+    check (they are the experimenter's deliberate choice), except events
+    naming the root or a node outside the tree, which the runtime would
+    skip as meaningless anyway.
+    """
+    kept: List[tuple] = []
+    failed: set = set()
+    for time, node in events:
+        if node in failed or node == tree.root or node not in tree:
+            continue
+        if (time, node) not in explicit:
+            scratch = Topology(
+                positions={
+                    nid: pos
+                    for nid, pos in topology.positions.items()
+                    if nid not in failed
+                },
+                comm_range=topology.comm_range,
+                area=topology.area,
+            )
+            scratch.remove_node(node)
+            component = scratch.connected_component_of(tree.root)
+            survivors = [
+                n for n in tree.nodes if n not in failed and n != node
+            ]
+            if not all(n in component for n in survivors):
+                continue
+        kept.append((time, node))
+        failed.add(node)
+    return kept
+
+
+def install_failure_schedule(
+    sim: Simulator,
+    network: Network,
+    tree: RoutingTree,
+    schedule: FailureSchedule,
+    suite=None,
+) -> List[tuple]:
+    """Turn ``schedule`` into simulator events; returns the planned failures.
+
+    Victims are drawn from the tree's non-root nodes using the run's seeded
+    ``scenario.failures`` stream, so the schedule is deterministic per seed.
+    Fraction-drawn victims whose removal would physically partition the
+    surviving tree nodes (cut vertices, checked with
+    :meth:`~repro.net.topology.Topology.remove_node` on a scratch copy) are
+    skipped, so churn sweeps measure protocol repair rather than guaranteed
+    physical partitions; explicit events are honoured as given.
+    When ``suite`` is an ESSAT protocol suite, failures route through
+    :class:`~repro.core.maintenance.EssatMaintenance` so the tree is repaired
+    and shapers resynchronise (Section 4.3); baseline suites just lose the
+    node from the channel and observe the resulting delivery failures.
+    """
+    from ..core.maintenance import EssatMaintenance
+    from ..core.protocol import EssatProtocolSuite
+
+    candidates = [node for node in tree.nodes if node != tree.root]
+    drawn = schedule.materialize(candidates, sim.streams.get("scenario.failures"))
+    events = _drop_partitioning_failures(
+        drawn, set(schedule.explicit), network.topology, tree
+    )
+    if not events:
+        return events
+    if isinstance(suite, EssatProtocolSuite):
+        maintenance = EssatMaintenance(suite, network)
+        handler = maintenance.fail_node
+    else:
+        handler = network.fail_node
+
+    def fail(node_id: int) -> None:
+        node = network.nodes.get(node_id)
+        # Explicit schedules may name the root or a node outside the tree;
+        # neither failure is meaningful (the root IS the experiment).
+        if node is None or node.failed or node_id == tree.root or node_id not in tree:
+            return
+        handler(node_id)
+
+    for time, node_id in events:
+        sim.schedule_at(time, fail, node_id, label=f"scenario.fail.{node_id}")
+    return events
 
 
 def run_single(
@@ -148,6 +256,8 @@ def run_single(
         break_even_time=scenario.break_even_time,
     )
     suite.register_queries(queries)
+    if scenario.failure_schedule is not None and not scenario.failure_schedule.is_empty:
+        install_failure_schedule(sim, network, tree, scenario.failure_schedule, suite=suite)
     sim.run(until=scenario.duration)
     network.finalize()
     metrics = collect_metrics(

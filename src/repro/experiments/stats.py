@@ -21,6 +21,14 @@ except ImportError:  # pragma: no cover - scipy is installed in this project
 #: by degrees of freedom (used only when scipy is unavailable).
 _T_TABLE_90 = {1: 6.314, 2: 2.920, 3: 2.353, 4: 2.132, 5: 2.015, 6: 1.943, 7: 1.895, 8: 1.860, 9: 1.833}
 _T_TABLE_95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262}
+_T_TABLE_99 = {1: 63.657, 2: 9.925, 3: 5.841, 4: 4.604, 5: 4.032, 6: 3.707, 7: 3.499, 8: 3.355, 9: 3.250}
+
+#: Confidence level -> (table, large-dof normal-approximation critical value).
+_T_TABLES = {
+    0.90: (_T_TABLE_90, 1.645),
+    0.95: (_T_TABLE_95, 1.960),
+    0.99: (_T_TABLE_99, 2.576),
+}
 
 
 @dataclass(frozen=True)
@@ -70,8 +78,15 @@ def _t_critical(confidence: float, dof: int) -> float:
         return 0.0
     if _scipy_stats is not None:
         return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, dof))
-    table = _T_TABLE_90 if confidence <= 0.9 else _T_TABLE_95
-    return table.get(min(dof, max(table)), 1.7)
+    # Without scipy, use the table whose confidence level is closest to the
+    # requested one (ties break toward the lower level).
+    level = min(_T_TABLES, key=lambda c: (abs(c - confidence), c))
+    table, normal_critical = _T_TABLES[level]
+    if dof in table:
+        return table[dof]
+    # Beyond the tabulated dof the t distribution is close to normal; the
+    # normal critical value under-covers by < 4% already at dof = 10.
+    return normal_critical
 
 
 def confidence_interval(values: Sequence[float], confidence: float = 0.9) -> IntervalEstimate:

@@ -3,13 +3,24 @@
 The paper's scenario places 80 nodes uniformly at random in a 500 x 500 m
 area with a 125 m communication range and roots the routing tree at the node
 closest to the centre (Section 5).  This module provides that placement plus
-grid/line placements used by tests, and exposes the resulting disk-graph
-connectivity both as neighbour sets and as a :mod:`networkx` graph.
+the generators the scenario registry builds on:
+
+* grid/line placements used by tests and chain experiments,
+* :meth:`Topology.clustered` -- hot-spot deployments (nodes gathered around
+  a handful of cluster centres),
+* :meth:`Topology.corridor` -- a noisy chain along an elongated strip,
+
+and exposes the resulting disk-graph connectivity both as neighbour sets and
+as a :mod:`networkx` graph.  Two serializable specs travel with a scenario:
+:class:`TopologySpec` names which generator (and parameters) to use, and
+:class:`FailureSchedule` describes scheduled permanent node failures that the
+experiment runner turns into simulator events.
 """
 
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
@@ -80,6 +91,93 @@ class Topology:
             node_id: Position(rng.uniform(0.0, width), rng.uniform(0.0, height))
             for node_id in range(num_nodes)
         }
+        return cls(positions=positions, comm_range=comm_range, area=area)
+
+    @classmethod
+    def clustered(
+        cls,
+        num_nodes: int,
+        num_clusters: int = 3,
+        cluster_radius: float = 50.0,
+        area: Tuple[float, float] = (500.0, 500.0),
+        comm_range: float = 125.0,
+        streams: Optional[RandomStreams] = None,
+        seed: int = 0,
+    ) -> "Topology":
+        """Hot-spot deployment: nodes gathered around ``num_clusters`` centres.
+
+        Cluster centres are drawn as a random walk whose steps stay within
+        the communication range, so adjacent clusters can bridge; nodes are
+        assigned to centres round-robin and scattered around them with a
+        Gaussian offset of scale ``cluster_radius / 2`` (clipped to the
+        area).  This models the dense sensing hot-spots (and the sparse
+        inter-cluster bridges) that the paper's uniform deployment lacks.
+        """
+        if num_nodes <= 0:
+            raise ValueError(f"need at least one node, got {num_nodes}")
+        if num_clusters <= 0 or num_clusters > num_nodes:
+            raise ValueError(
+                f"need between 1 and {num_nodes} clusters, got {num_clusters}"
+            )
+        if cluster_radius <= 0:
+            raise ValueError(f"cluster radius must be positive, got {cluster_radius!r}")
+        rng = (streams or RandomStreams(seed)).get("topology.placement")
+        width, height = area
+
+        def clip(value: float, high: float) -> float:
+            return min(max(value, 0.0), high)
+
+        centres = [Position(rng.uniform(0.0, width), rng.uniform(0.0, height))]
+        for _ in range(num_clusters - 1):
+            anchor = centres[rng.randrange(len(centres))]
+            angle = rng.uniform(0.0, 2.0 * math.pi)
+            step = rng.uniform(0.5, 0.9) * comm_range
+            centres.append(
+                Position(
+                    clip(anchor.x + step * math.cos(angle), width),
+                    clip(anchor.y + step * math.sin(angle), height),
+                )
+            )
+        positions = {}
+        for node_id in range(num_nodes):
+            centre = centres[node_id % num_clusters]
+            positions[node_id] = Position(
+                clip(centre.x + rng.gauss(0.0, cluster_radius / 2.0), width),
+                clip(centre.y + rng.gauss(0.0, cluster_radius / 2.0), height),
+            )
+        return cls(positions=positions, comm_range=comm_range, area=area)
+
+    @classmethod
+    def corridor(
+        cls,
+        num_nodes: int,
+        area: Tuple[float, float] = (800.0, 60.0),
+        comm_range: float = 125.0,
+        streams: Optional[RandomStreams] = None,
+        seed: int = 0,
+    ) -> "Topology":
+        """A noisy multi-hop chain along an elongated strip.
+
+        Nodes are spread evenly along the long axis with +-25% jitter and a
+        uniformly random cross-axis offset, which guarantees the chain shape
+        (pipeline monitoring, tunnels, road-side deployments) instead of the
+        occasional accidental chain a thin uniform placement would give.
+        """
+        if num_nodes <= 0:
+            raise ValueError(f"need at least one node, got {num_nodes}")
+        rng = (streams or RandomStreams(seed)).get("topology.placement")
+        length, width = area
+        if length < width:
+            raise ValueError(
+                f"corridor area must be elongated (length >= width), got {area!r}"
+            )
+        spacing = length / num_nodes
+        positions = {}
+        for node_id in range(num_nodes):
+            x = (node_id + 0.5) * spacing + rng.uniform(-0.25, 0.25) * spacing
+            positions[node_id] = Position(
+                min(max(x, 0.0), length), rng.uniform(0.0, width)
+            )
         return cls(positions=positions, comm_range=comm_range, area=area)
 
     @classmethod
@@ -221,6 +319,131 @@ class Topology:
         self._neighbors = {node: frozenset(others) for node, others in neighbor_map.items()}
 
 
+# ---------------------------------------------------------------------------
+# Serializable scenario specs: which generator to use, which nodes to fail
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A serializable recipe for building a topology from scenario parameters.
+
+    ``kind`` names the generator; ``params`` is a sorted tuple of
+    ``(name, value)`` pairs so the spec hashes stably into the orchestrator's
+    job digests.  Node count, area, and communication range come from the
+    surrounding :class:`~repro.experiments.config.ScenarioConfig` — the spec
+    only carries what is specific to the generator (e.g. cluster count).
+    """
+
+    kind: str = "uniform"
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    #: Generators :func:`build_topology_from_spec` can dispatch to.
+    KINDS = ("uniform", "clustered", "corridor")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"unknown topology kind {self.kind!r}; expected one of {self.KINDS}")
+        normalized = tuple(sorted((str(k), float(v)) for k, v in self.params))
+        object.__setattr__(self, "params", normalized)
+
+    @classmethod
+    def make(cls, kind: str, **params: float) -> "TopologySpec":
+        """Build a spec from keyword parameters (``TopologySpec.make("clustered", clusters=4)``)."""
+        return cls(kind=kind, params=tuple(params.items()))
+
+    def param(self, name: str, default: float) -> float:
+        """The value of parameter ``name``, or ``default`` when unset."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """Scheduled permanent node failures (churn) applied during a run.
+
+    Two ingredients, combinable:
+
+    * ``fraction`` of the eligible nodes (the runner passes the routing
+      tree's non-root nodes) fail at times drawn uniformly from ``window``;
+      victims and times come from the run's seeded ``scenario.failures``
+      stream, so the schedule is deterministic per seed and hashes cleanly
+      into job digests,
+    * ``explicit`` pins concrete ``(time, node_id)`` failures for targeted
+      experiments.
+    """
+
+    fraction: float = 0.0
+    window: Tuple[float, float] = (0.0, 0.0)
+    explicit: Tuple[Tuple[float, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction < 1.0:
+            raise ValueError(f"failure fraction must be in [0, 1), got {self.fraction!r}")
+        low, high = self.window
+        if low < 0 or high < low:
+            raise ValueError(f"invalid failure window {self.window!r}")
+        normalized = tuple(sorted((float(t), int(n)) for t, n in self.explicit))
+        if any(t < 0 for t, _ in normalized):
+            raise ValueError("explicit failure times must be non-negative")
+        object.__setattr__(self, "explicit", normalized)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this schedule fails no nodes at all."""
+        return self.fraction == 0.0 and not self.explicit
+
+    def materialize(
+        self, candidates: Sequence[int], rng: random.Random
+    ) -> List[Tuple[float, int]]:
+        """Concrete ``(time, node_id)`` failures for one run, sorted by time.
+
+        A non-zero fraction fails at least one candidate, so sweeping small
+        fractions on small networks still injects churn.
+        """
+        events = list(self.explicit)
+        if self.fraction > 0.0 and candidates:
+            count = min(len(candidates), max(1, round(self.fraction * len(candidates))))
+            victims = rng.sample(sorted(candidates), count)
+            low, high = self.window
+            events.extend((rng.uniform(low, high), victim) for victim in victims)
+        return sorted(events)
+
+
+# ---------------------------------------------------------------------------
+# Connected-topology generation
+# ---------------------------------------------------------------------------
+
+def generate_connected_topology(
+    factory,
+    streams: Optional[RandomStreams] = None,
+    seed: int = 0,
+    max_attempts: int = 200,
+    require_connected_from: Optional[int] = None,
+) -> Topology:
+    """Call ``factory(streams)`` with fresh stream forks until connected.
+
+    By default the whole graph must be connected; when
+    ``require_connected_from`` is given, only the component containing that
+    node must include every node (equivalent, but clearer at call sites that
+    care about the root).
+    """
+    base = streams or RandomStreams(seed)
+    for attempt in range(max_attempts):
+        candidate = factory(base.fork(attempt))
+        if require_connected_from is not None:
+            component = candidate.connected_component_of(require_connected_from)
+            if len(component) == candidate.num_nodes:
+                return candidate
+        elif candidate.is_connected():
+            return candidate
+    raise RuntimeError(
+        f"could not generate a connected topology in {max_attempts} attempts; "
+        "increase density or range"
+    )
+
+
 def generate_connected_random_topology(
     num_nodes: int,
     area: Tuple[float, float] = (500.0, 500.0),
@@ -230,28 +453,43 @@ def generate_connected_random_topology(
     max_attempts: int = 200,
     require_connected_from: Optional[int] = None,
 ) -> Topology:
-    """Draw random topologies until the connectivity requirement is met.
+    """Draw uniform-random topologies until the connectivity requirement is met."""
+    return generate_connected_topology(
+        lambda forked: Topology.random(
+            num_nodes=num_nodes, area=area, comm_range=comm_range, streams=forked
+        ),
+        streams=streams,
+        seed=seed,
+        max_attempts=max_attempts,
+        require_connected_from=require_connected_from,
+    )
 
-    By default the whole graph must be connected; when
-    ``require_connected_from`` is given, only the component containing that
-    node must include every node (equivalent, but clearer at call sites that
-    care about the root).
-    """
-    base = streams or RandomStreams(seed)
-    for attempt in range(max_attempts):
-        candidate = Topology.random(
+
+def build_topology_from_spec(
+    spec: TopologySpec,
+    num_nodes: int,
+    area: Tuple[float, float],
+    comm_range: float,
+    streams: Optional[RandomStreams] = None,
+    seed: int = 0,
+) -> Topology:
+    """Instantiate one (not necessarily connected) placement for ``spec``."""
+    streams = streams or RandomStreams(seed)
+    if spec.kind == "uniform":
+        return Topology.random(
+            num_nodes=num_nodes, area=area, comm_range=comm_range, streams=streams
+        )
+    if spec.kind == "clustered":
+        return Topology.clustered(
             num_nodes=num_nodes,
+            num_clusters=int(spec.param("clusters", 3)),
+            cluster_radius=spec.param("cluster_radius", 0.4 * comm_range),
             area=area,
             comm_range=comm_range,
-            streams=base.fork(attempt),
+            streams=streams,
         )
-        if require_connected_from is not None:
-            component = candidate.connected_component_of(require_connected_from)
-            if len(component) == num_nodes:
-                return candidate
-        elif candidate.is_connected():
-            return candidate
-    raise RuntimeError(
-        f"could not generate a connected topology with {num_nodes} nodes in "
-        f"{max_attempts} attempts; increase density or range"
-    )
+    if spec.kind == "corridor":
+        return Topology.corridor(
+            num_nodes=num_nodes, area=area, comm_range=comm_range, streams=streams
+        )
+    raise ValueError(f"unknown topology kind {spec.kind!r}")  # pragma: no cover

@@ -101,7 +101,7 @@ class ExperimentSpec:
         )
 
 
-def _assemble_experiment(
+def assemble_experiment(
     spec: ExperimentSpec, job_results: Sequence[JobResult]
 ) -> ExperimentResult:
     """Fold one experiment's per-replication results into a result object."""
@@ -124,6 +124,35 @@ def _assemble_experiment(
     )
 
 
+def run_experiments_with_jobs(
+    specs: Sequence[ExperimentSpec],
+    *,
+    workers: int = 1,
+    store: StoreLike = None,
+    progress: ProgressLike = None,
+    label: str = "sweep",
+) -> tuple[List[ExperimentResult], List[JobResult]]:
+    """Run many experiments through one flattened job sweep.
+
+    Returns the per-spec :class:`ExperimentResult` objects (input order)
+    plus the raw per-job results, whose ``cached`` flags tell callers how
+    much of the sweep came from the store.
+    """
+    specs = list(specs)
+    jobs: List[RunJob] = []
+    spans: List[tuple] = []
+    for spec in specs:
+        expanded = spec.expand()
+        spans.append((len(jobs), len(jobs) + len(expanded)))
+        jobs.extend(expanded)
+    results = run_sweep(jobs, workers=workers, store=store, progress=progress, label=label)
+    assembled = [
+        assemble_experiment(spec, results[start:stop])
+        for spec, (start, stop) in zip(specs, spans)
+    ]
+    return assembled, results
+
+
 def run_experiments(
     specs: Sequence[ExperimentSpec],
     *,
@@ -137,18 +166,10 @@ def run_experiments(
     Returns one :class:`ExperimentResult` per spec, in input order, with
     metrics identical to calling ``run_experiment`` on each spec serially.
     """
-    specs = list(specs)
-    jobs: List[RunJob] = []
-    spans: List[tuple] = []
-    for spec in specs:
-        expanded = spec.expand()
-        spans.append((len(jobs), len(jobs) + len(expanded)))
-        jobs.extend(expanded)
-    results = run_sweep(jobs, workers=workers, store=store, progress=progress, label=label)
-    return [
-        _assemble_experiment(spec, results[start:stop])
-        for spec, (start, stop) in zip(specs, spans)
-    ]
+    assembled, _ = run_experiments_with_jobs(
+        specs, workers=workers, store=store, progress=progress, label=label
+    )
+    return assembled
 
 
 def run_protocol_sweep(

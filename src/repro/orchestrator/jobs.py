@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..experiments.config import ScenarioConfig
 from ..experiments.metrics import RunMetrics
 from ..mac.base import MacConfig
+from ..net.topology import FailureSchedule, TopologySpec
 from ..query.aggregation import AggregationFunction
 from ..query.query import QuerySpec, SourceSelection
 from ..query.workload import WorkloadSpec, generate_queries
@@ -34,7 +35,9 @@ from ..sim.rng import RandomStreams
 
 #: Bump when the job or record serialization format changes; digests embed
 #: this so stale store entries are never mistaken for current ones.
-SCHEMA_VERSION = 1
+#: v2: scenarios gained a topology spec and a failure schedule, and the
+#: delivery-ratio metric stopped counting duplicate root deliveries.
+SCHEMA_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -78,6 +81,40 @@ def _mac_config_from_dict(data: Dict[str, Any]) -> MacConfig:
     return MacConfig(**data)
 
 
+def topology_spec_to_dict(spec: TopologySpec) -> Dict[str, Any]:
+    """JSON-safe representation of a :class:`TopologySpec`."""
+    return {"kind": spec.kind, "params": [list(pair) for pair in spec.params]}
+
+
+def topology_spec_from_dict(data: Dict[str, Any]) -> TopologySpec:
+    """Inverse of :func:`topology_spec_to_dict`."""
+    return TopologySpec(
+        kind=data["kind"], params=tuple((k, v) for k, v in data["params"])
+    )
+
+
+def failure_schedule_to_dict(schedule: Optional[FailureSchedule]) -> Optional[Dict[str, Any]]:
+    """JSON-safe representation of a :class:`FailureSchedule` (or ``None``)."""
+    if schedule is None:
+        return None
+    return {
+        "fraction": schedule.fraction,
+        "window": list(schedule.window),
+        "explicit": [list(event) for event in schedule.explicit],
+    }
+
+
+def failure_schedule_from_dict(data: Optional[Dict[str, Any]]) -> Optional[FailureSchedule]:
+    """Inverse of :func:`failure_schedule_to_dict`."""
+    if data is None:
+        return None
+    return FailureSchedule(
+        fraction=data["fraction"],
+        window=tuple(data["window"]),
+        explicit=tuple((t, n) for t, n in data["explicit"]),
+    )
+
+
 def scenario_to_dict(scenario: ScenarioConfig) -> Dict[str, Any]:
     """JSON-safe representation of a :class:`ScenarioConfig`."""
     return {
@@ -92,6 +129,8 @@ def scenario_to_dict(scenario: ScenarioConfig) -> Dict[str, Any]:
         "break_even_time": scenario.break_even_time,
         "mac_config": _mac_config_to_dict(scenario.mac_config),
         "measure_from": scenario.measure_from,
+        "topology": topology_spec_to_dict(scenario.topology),
+        "failure_schedule": failure_schedule_to_dict(scenario.failure_schedule),
     }
 
 
@@ -109,6 +148,8 @@ def scenario_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
         break_even_time=data["break_even_time"],
         mac_config=_mac_config_from_dict(data["mac_config"]),
         measure_from=data["measure_from"],
+        topology=topology_spec_from_dict(data["topology"]),
+        failure_schedule=failure_schedule_from_dict(data["failure_schedule"]),
     )
 
 

@@ -1,0 +1,46 @@
+"""Pluggable scenario registry: named experiment families beyond the paper.
+
+The paper evaluates one deployment shape (80 nodes uniform-random in a
+square).  This package opens that axis: a registry of named scenario
+families -- clustered hot-spots, corridor chains, density/size sweeps,
+heterogeneous radio profiles, scheduled node churn -- each of which expands
+into plain :class:`~repro.experiments.config.ScenarioConfig` objects and
+therefore sweeps, caches, and resumes through :mod:`repro.orchestrator`
+with no family-specific execution code.
+
+Usage::
+
+    from repro.scenarios import family_names, run_family
+    result = run_family("churn", protocols=["DTS-SS", "SPAN"], workers=4)
+    print(result.table())
+
+or from the command line: ``python -m repro.cli scenarios list`` /
+``python -m repro.cli scenarios run churn``.
+"""
+
+from .registry import (
+    ScenarioFamily,
+    ScenarioVariant,
+    all_families,
+    family_names,
+    get_family,
+    register_family,
+    unregister_family,
+)
+from .run import DEFAULT_FAMILY_PROTOCOLS, FamilyRunResult, run_family
+
+# Importing the module registers the built-in families as a side effect.
+from . import families as _families  # noqa: E402,F401
+
+__all__ = [
+    "ScenarioFamily",
+    "ScenarioVariant",
+    "all_families",
+    "family_names",
+    "get_family",
+    "register_family",
+    "unregister_family",
+    "DEFAULT_FAMILY_PROTOCOLS",
+    "FamilyRunResult",
+    "run_family",
+]

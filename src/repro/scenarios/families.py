@@ -1,0 +1,234 @@
+"""The built-in scenario families.
+
+Three families reproduce the paper's own setup at its three scales; the
+rest open evaluation axes the paper never explored:
+
+* ``clustered`` -- hot-spot deployments (sweep over the number of clusters),
+* ``corridor`` -- noisy multi-hop chains (sweep over the chain depth),
+* ``density`` -- node count swept at fixed area,
+* ``size`` -- area and node count grown together at fixed density,
+* ``radio-profiles`` -- the paper's referenced radios (ideal, MICA2
+  typical/worst, ZebraNet) swept by wake-up latency,
+* ``churn`` -- scheduled mid-run node failures swept by failure fraction.
+
+Every builder derives its variants from the base scale it is handed, so the
+same family definition serves smoke tests and paper-scale studies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..experiments.config import ScenarioConfig, paper_scale, reduced_scale, smoke_scale
+from ..experiments.scenarios import rate_sweep_workload
+from ..net.topology import FailureSchedule, TopologySpec
+from ..query.workload import WorkloadSpec
+from ..radio.energy import IDEAL, MICA2_TYPICAL, MICA2_WORST, ZEBRANET
+from .registry import ScenarioVariant, register_family
+
+#: Base rate (Hz) of the default one-query-per-class workload families run.
+DEFAULT_FAMILY_BASE_RATE = 2.0
+
+#: Cluster counts swept by the ``clustered`` family.
+CLUSTER_COUNTS = (2, 3, 4)
+
+#: Chain depths (approximate hop counts) swept by the ``corridor`` family.
+CORRIDOR_HOPS = (3, 5, 7)
+
+#: Node-count factors swept by the ``density`` family (area fixed).
+DENSITY_FACTORS = (0.75, 1.0, 1.5, 2.0)
+
+#: Linear-dimension factors swept by the ``size`` family (density fixed).
+SIZE_FACTORS = (0.75, 1.0, 1.25, 1.5)
+
+#: Failure fractions swept by the ``churn`` family.
+CHURN_FRACTIONS = (0.0, 0.1, 0.2, 0.3)
+
+#: Radio power profiles swept by the ``radio-profiles`` family.
+RADIO_PROFILES = (IDEAL, MICA2_TYPICAL, MICA2_WORST, ZEBRANET)
+
+
+def _workload() -> WorkloadSpec:
+    return rate_sweep_workload(DEFAULT_FAMILY_BASE_RATE)
+
+
+@register_family(
+    "paper",
+    "the paper's Section 5 setup: 80 nodes uniform-random in 500x500 m "
+    "(always full scale, regardless of the base)",
+    x_label="num_nodes",
+)
+def paper_family(base: ScenarioConfig) -> List[ScenarioVariant]:
+    scenario = paper_scale()
+    return [
+        ScenarioVariant(
+            label="paper-80n", x=float(scenario.num_nodes), scenario=scenario, workload=_workload()
+        )
+    ]
+
+
+@register_family(
+    "reduced",
+    "the reduced benchmark scale: 36 nodes, 40 s runs (ignores the base scale)",
+    x_label="num_nodes",
+)
+def reduced_family(base: ScenarioConfig) -> List[ScenarioVariant]:
+    scenario = reduced_scale()
+    return [
+        ScenarioVariant(
+            label="reduced-36n", x=float(scenario.num_nodes), scenario=scenario, workload=_workload()
+        )
+    ]
+
+
+@register_family(
+    "smoke",
+    "the seconds-long functional-test scale: 12 nodes, 12 s runs (ignores the base scale)",
+    x_label="num_nodes",
+)
+def smoke_family(base: ScenarioConfig) -> List[ScenarioVariant]:
+    scenario = smoke_scale()
+    return [
+        ScenarioVariant(
+            label="smoke-12n", x=float(scenario.num_nodes), scenario=scenario, workload=_workload()
+        )
+    ]
+
+
+@register_family(
+    "clustered",
+    "hot-spot deployments: nodes gathered around 2-4 cluster centres with "
+    "sparse inter-cluster bridges",
+    x_label="clusters",
+)
+def clustered_family(base: ScenarioConfig) -> List[ScenarioVariant]:
+    variants = []
+    for clusters in CLUSTER_COUNTS:
+        spec = TopologySpec.make(
+            "clustered", clusters=clusters, cluster_radius=0.4 * base.comm_range
+        )
+        variants.append(
+            ScenarioVariant(
+                label=f"clusters={clusters}",
+                x=float(clusters),
+                scenario=base.with_overrides(topology=spec),
+                workload=_workload(),
+            )
+        )
+    return variants
+
+
+@register_family(
+    "corridor",
+    "noisy multi-hop chains along an elongated strip (pipelines, tunnels); "
+    "sweeps the chain depth",
+    x_label="hops",
+)
+def corridor_family(base: ScenarioConfig) -> List[ScenarioVariant]:
+    variants = []
+    width = 0.4 * base.comm_range
+    for hops in CORRIDOR_HOPS:
+        length = max(hops * base.comm_range * 0.8, width)
+        variants.append(
+            ScenarioVariant(
+                label=f"hops={hops}",
+                x=float(hops),
+                scenario=base.with_overrides(
+                    topology=TopologySpec.make("corridor"),
+                    area=(length, width),
+                    # The root sits mid-chain; let the tree span both arms.
+                    max_distance_from_root=None,
+                ),
+                workload=_workload(),
+            )
+        )
+    return variants
+
+
+@register_family(
+    "density",
+    "node-density sweep: 0.75x to 2x the base node count in the unchanged area",
+    x_label="num_nodes",
+)
+def density_family(base: ScenarioConfig) -> List[ScenarioVariant]:
+    variants = []
+    for factor in DENSITY_FACTORS:
+        num_nodes = max(4, round(base.num_nodes * factor))
+        variants.append(
+            ScenarioVariant(
+                label=f"n={num_nodes}",
+                x=float(num_nodes),
+                scenario=base.with_overrides(num_nodes=num_nodes),
+                workload=_workload(),
+            )
+        )
+    return variants
+
+
+@register_family(
+    "size",
+    "network-size sweep: area and node count grown together at constant density",
+    x_label="num_nodes",
+)
+def size_family(base: ScenarioConfig) -> List[ScenarioVariant]:
+    variants = []
+    width, height = base.area
+    for factor in SIZE_FACTORS:
+        num_nodes = max(4, round(base.num_nodes * factor * factor))
+        variants.append(
+            ScenarioVariant(
+                label=f"n={num_nodes}",
+                x=float(num_nodes),
+                scenario=base.with_overrides(
+                    num_nodes=num_nodes, area=(width * factor, height * factor)
+                ),
+                workload=_workload(),
+            )
+        )
+    return variants
+
+
+@register_family(
+    "radio-profiles",
+    "the paper's referenced radios (ideal, MICA2 typical/worst, ZebraNet) "
+    "swept by wake-up latency",
+    x_label="wakeup_ms",
+)
+def radio_profiles_family(base: ScenarioConfig) -> List[ScenarioVariant]:
+    variants = []
+    for profile in RADIO_PROFILES:
+        variants.append(
+            ScenarioVariant(
+                label=profile.name,
+                x=profile.t_off_to_on * 1000.0,
+                scenario=base.with_overrides(power_profile=profile),
+                workload=_workload(),
+            )
+        )
+    return variants
+
+
+@register_family(
+    "churn",
+    "scheduled mid-run node failures: 0-30% of the tree's non-root nodes "
+    "fail permanently between 25% and 75% of the run",
+    x_label="failed_pct",
+)
+def churn_family(base: ScenarioConfig) -> List[ScenarioVariant]:
+    variants = []
+    for fraction in CHURN_FRACTIONS:
+        schedule = None
+        if fraction > 0.0:
+            schedule = FailureSchedule(
+                fraction=fraction,
+                window=(0.25 * base.duration, 0.75 * base.duration),
+            )
+        variants.append(
+            ScenarioVariant(
+                label=f"fail={round(fraction * 100)}%",
+                x=fraction * 100.0,
+                scenario=base.with_overrides(failure_schedule=schedule),
+                workload=_workload(),
+            )
+        )
+    return variants

@@ -1,0 +1,101 @@
+"""The scenario registry: named, serializable families of experiment setups.
+
+A *scenario family* is a named generator of :class:`ScenarioVariant` objects
+-- concrete ``(ScenarioConfig, WorkloadSpec)`` pairs positioned on a sweep
+axis (cluster count, node density, failure fraction, ...).  Families are
+pure functions of a base :class:`~repro.experiments.config.ScenarioConfig`,
+so one registry serves every scale: the same ``density`` family produces a
+seconds-long smoke sweep or the paper-scale study depending on the base it
+is given.
+
+Because a variant is nothing but a ``ScenarioConfig`` (which serializes into
+:class:`~repro.orchestrator.jobs.RunJob` digests), every family is
+sweepable, cacheable, and resumable through the orchestrator for free --
+no per-family execution code exists anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..experiments.config import ScenarioConfig
+from ..query.workload import WorkloadSpec
+
+#: Builder signature: base scale in, concrete variants out.
+VariantBuilder = Callable[[ScenarioConfig], List["ScenarioVariant"]]
+
+
+@dataclass(frozen=True)
+class ScenarioVariant:
+    """One concrete point of a scenario family's sweep."""
+
+    #: Human-readable point label, e.g. ``"clusters=3"`` or ``"fail=20%"``.
+    label: str
+    #: Position on the family's sweep axis (for figures and tables).
+    x: float
+    #: The fully-specified scenario; hashes into job digests as-is.
+    scenario: ScenarioConfig
+    #: The query workload run against the scenario.
+    workload: WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A named scenario generator registered with the scenario registry."""
+
+    name: str
+    description: str
+    #: Axis label of the sweep the family's variants span.
+    x_label: str
+    builder: VariantBuilder = field(repr=False)
+
+    def variants(self, base: ScenarioConfig) -> List[ScenarioVariant]:
+        """Concrete variants of this family derived from ``base``."""
+        built = self.builder(base)
+        if not built:
+            raise ValueError(f"scenario family {self.name!r} produced no variants")
+        return built
+
+
+_REGISTRY: Dict[str, ScenarioFamily] = {}
+
+
+def register_family(
+    name: str, description: str, x_label: str = "variant"
+) -> Callable[[VariantBuilder], VariantBuilder]:
+    """Decorator registering a variant builder as the family ``name``."""
+
+    def decorate(builder: VariantBuilder) -> VariantBuilder:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario family {name!r} is already registered")
+        _REGISTRY[name] = ScenarioFamily(
+            name=name, description=description, x_label=x_label, builder=builder
+        )
+        return builder
+
+    return decorate
+
+
+def get_family(name: str) -> ScenarioFamily:
+    """The registered family called ``name`` (raises ``KeyError`` if absent)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(family_names())
+        raise KeyError(f"unknown scenario family {name!r}; known families: {known}") from None
+
+
+def family_names() -> List[str]:
+    """Names of every registered family, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_families() -> List[ScenarioFamily]:
+    """Every registered family, sorted by name."""
+    return [_REGISTRY[name] for name in family_names()]
+
+
+def unregister_family(name: str) -> Optional[ScenarioFamily]:
+    """Remove a family from the registry (used by tests); returns it."""
+    return _REGISTRY.pop(name, None)

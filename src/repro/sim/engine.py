@@ -68,8 +68,18 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
+        """Number of live events still in the queue (excluding cancelled ones)."""
         return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def queued_events(self) -> int:
+        """Number of heap entries, including cancelled events not yet popped.
+
+        Cancelled events stay in the heap until the run loop reaches them, so
+        this count can exceed :attr:`pending_events`; it measures queue memory
+        pressure rather than remaining work.
+        """
+        return len(self._heap)
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -175,10 +185,14 @@ class Simulator:
                 if max_events is not None and fired_this_run >= max_events:
                     break
             if until is not None and not self._stopped and self._now < until:
-                # Advance the clock to the requested horizon even if the
-                # queue drained earlier, so metrics spanning [0, until] are
-                # well defined.
-                self._now = until
+                # Advance the clock to the requested horizon so that metrics
+                # spanning [0, until] are well defined -- but only when no
+                # live event remains at or before `until`.  If `max_events`
+                # cut the run short, fast-forwarding past the still-pending
+                # events would make the next run() see events in the past.
+                next_time = self.peek_next_time()
+                if next_time is None or next_time > until:
+                    self._now = until
         finally:
             self._running = False
         return self._now

@@ -92,6 +92,42 @@ class TestCommands:
         assert code == 0
         assert warm.getvalue() == cold.getvalue()
 
+    def test_scenarios_list_command(self) -> None:
+        out = io.StringIO()
+        assert main(["--scale", "smoke", "scenarios", "list"], out=out) == 0
+        text = out.getvalue()
+        for family in ("paper", "reduced", "smoke", "clustered", "corridor",
+                       "density", "size", "radio-profiles", "churn"):
+            assert family in text
+
+    def test_scenarios_run_command_with_warm_cache(self, tmp_path) -> None:
+        cache_dir = str(tmp_path / "cache")
+        cold = io.StringIO()
+        code = main(
+            ["--scale", "smoke", "--cache-dir", cache_dir, "scenarios", "run", "churn"],
+            out=cold,
+        )
+        assert code == 0
+        text = cold.getvalue()
+        assert "scenario family churn" in text
+        assert "fail=30% DTS-SS" in text
+        assert "4 executed, 0 from cache" in text
+        warm = io.StringIO()
+        code = main(
+            ["--scale", "smoke", "--cache-dir", cache_dir, "scenarios", "run", "churn"],
+            out=warm,
+        )
+        assert code == 0
+        assert "0 executed, 4 from cache" in warm.getvalue()
+
+    def test_scenarios_run_unknown_family(self) -> None:
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "no-such-family"], out=io.StringIO())
+
+    def test_scenarios_requires_subcommand(self) -> None:
+        with pytest.raises(SystemExit):
+            main(["scenarios"], out=io.StringIO())
+
     def test_compare_command(self) -> None:
         out = io.StringIO()
         code = main(

@@ -17,6 +17,7 @@ from repro.experiments.metrics import (
     DeliveryLog,
     RunMetrics,
     average_metrics,
+    collect_metrics,
     expected_periods,
 )
 from repro.experiments.runner import (
@@ -166,6 +167,60 @@ class TestMetrics:
             energy_per_node={},
         )
         assert average_metrics([single]) is single
+
+
+class TestDeliveryRatio:
+    """Regression: duplicate root deliveries must not inflate the ratio."""
+
+    def _collect(self, sim, line_topology, deliveries, queries, duration):
+        network = build_network(sim, line_topology, power_profile=IDEAL)
+        tree = build_routing_tree(line_topology)
+        return collect_metrics("X", network, tree, deliveries, queries, duration)
+
+    def _deliver(self, log: DeliveryLog, query_id: int, k: int, nominal: float) -> None:
+        report = DataReport(
+            query_id=query_id,
+            report_index=k,
+            aggregate=PartialAggregate.from_sample(AggregationFunction.AVG, 1.0),
+            nominal_time=nominal,
+            generated_at=nominal,
+        )
+        log(query_id, k, report, nominal + 0.1)
+
+    def test_duplicate_deliveries_counted_once(self, sim, line_topology) -> None:
+        query = QuerySpec(query_id=1, period=1.0, start_time=0.0)
+        log = DeliveryLog()
+        # 5 expected periods (k = 0..4: duration 5, margin = one period);
+        # period 0 is delivered four times (re-forwarded duplicates at the
+        # root) and period 1 once -- only 2 periods actually made it.
+        for _ in range(4):
+            self._deliver(log, 1, 0, nominal=0.0)
+        self._deliver(log, 1, 1, nominal=1.0)
+        metrics = self._collect(sim, line_topology, log, [query], duration=5.0)
+        # Pre-fix: min(1.0, 5/5) == 1.0 although 3 of 5 periods were lost.
+        assert metrics.delivery_ratio == pytest.approx(2.0 / 5.0)
+        assert metrics.deliveries == 5  # the raw count still sees duplicates
+
+    def test_unique_deliveries_give_full_ratio(self, sim, line_topology) -> None:
+        query = QuerySpec(query_id=1, period=1.0, start_time=0.0)
+        log = DeliveryLog()
+        for k in range(5):
+            self._deliver(log, 1, k, nominal=float(k))
+        metrics = self._collect(sim, line_topology, log, [query], duration=5.0)
+        assert metrics.delivery_ratio == pytest.approx(1.0)
+        # No duplicates: distinct (query, period) pairs == raw deliveries.
+        pairs = {(r.query_id, r.report_index) for r in log.records}
+        assert len(pairs) == len(log.records)
+
+    def test_margin_periods_do_not_push_ratio_past_one(self, sim, line_topology) -> None:
+        # A delivery for a period inside the end-of-run margin is excluded
+        # from the numerator just as it is from the denominator.
+        query = QuerySpec(query_id=1, period=1.0, start_time=0.0)
+        log = DeliveryLog()
+        for k in range(6):  # period 5 falls past the margin-trimmed horizon
+            self._deliver(log, 1, k, nominal=float(k))
+        metrics = self._collect(sim, line_topology, log, [query], duration=5.0)
+        assert metrics.delivery_ratio == pytest.approx(1.0)
 
 
 class TestTables:

@@ -103,6 +103,40 @@ class TestScheduling:
         sim.run(max_events=3)
         assert len(fired) == 3
 
+    def test_max_events_break_does_not_corrupt_clock(self, sim: Simulator) -> None:
+        """Regression: `until` + `max_events` must not fast-forward past
+        still-pending events (the next run() used to see events in the past)."""
+        fired = []
+        for i in range(10):
+            sim.schedule_at(float(i + 1), lambda i=i: fired.append(i))
+        end = sim.run(until=20.0, max_events=3)
+        assert end == 3.0
+        assert sim.now == 3.0
+        assert sim.pending_events == 7
+        # Pre-fix this raised SimulationError("event queue corrupted: ...").
+        end = sim.run(until=20.0)
+        assert end == 20.0
+        assert fired == list(range(10))
+
+    def test_max_events_that_exactly_drains_queue_still_fast_forwards(
+        self, sim: Simulator
+    ) -> None:
+        sim.schedule_at(1.0, lambda: None)
+        assert sim.run(until=10.0, max_events=1) == 10.0
+
+    def test_fast_forward_skips_cancelled_events_before_until(self, sim: Simulator) -> None:
+        sim.schedule_at(1.0, lambda: None)
+        late = sim.schedule_at(5.0, lambda: None)
+        late.cancel()
+        assert sim.run(until=10.0, max_events=1) == 10.0
+
+    def test_pending_excludes_cancelled_queued_includes(self, sim: Simulator) -> None:
+        sim.schedule_at(1.0, lambda: None)
+        cancelled = sim.schedule_at(2.0, lambda: None)
+        cancelled.cancel()
+        assert sim.pending_events == 1
+        assert sim.queued_events == 2
+
     def test_peek_next_time(self, sim: Simulator) -> None:
         assert sim.peek_next_time() is None
         handle = sim.schedule_at(4.0, lambda: None)

@@ -67,6 +67,54 @@ class TestStats:
         assert "0.5" in text and "90%" in text and "n=5" in text
 
 
+class TestTCriticalFallback:
+    """The scipy-free Student-t fallback (regression for the table picker)."""
+
+    @pytest.fixture(autouse=True)
+    def _without_scipy(self, monkeypatch: pytest.MonkeyPatch):
+        from repro.experiments import stats as stats_module
+
+        monkeypatch.setattr(stats_module, "_scipy_stats", None)
+        self.stats = stats_module
+
+    def test_confidence_99_uses_the_99_table(self) -> None:
+        # Pre-fix: any confidence > 0.9 silently used the 95% table (2.776).
+        assert self.stats._t_critical(0.99, 4) == pytest.approx(4.604)
+
+    def test_nearest_table_is_picked(self) -> None:
+        assert self.stats._t_critical(0.92, 3) == pytest.approx(2.353)  # 90% table
+        assert self.stats._t_critical(0.94, 3) == pytest.approx(3.182)  # 95% table
+
+    def test_dof_beyond_table_uses_normal_approximation(self) -> None:
+        # Pre-fix: dof > 9 reused the dof=9 row (1.833 / 2.262).
+        assert self.stats._t_critical(0.90, 30) == pytest.approx(1.645)
+        assert self.stats._t_critical(0.95, 120) == pytest.approx(1.960)
+        assert self.stats._t_critical(0.99, 50) == pytest.approx(2.576)
+
+    def test_zero_dof_is_zero(self) -> None:
+        assert self.stats._t_critical(0.9, 0) == 0.0
+
+    def test_confidence_interval_end_to_end_without_scipy(self) -> None:
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        narrow = self.stats.confidence_interval(samples, confidence=0.9)
+        wide = self.stats.confidence_interval(samples, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+        assert narrow.contains(3.0)
+
+
+def test_t_tables_agree_with_scipy_when_available() -> None:
+    from repro.experiments import stats as stats_module
+
+    if stats_module._scipy_stats is None:  # pragma: no cover - scipy installed here
+        pytest.skip("scipy not installed")
+    for confidence, (table, normal_critical) in stats_module._T_TABLES.items():
+        for dof, tabulated in table.items():
+            exact = float(stats_module._scipy_stats.t.ppf(0.5 + confidence / 2.0, dof))
+            assert tabulated == pytest.approx(exact, abs=5e-3)
+        exact_normal = float(stats_module._scipy_stats.norm.ppf(0.5 + confidence / 2.0))
+        assert normal_critical == pytest.approx(exact_normal, abs=5e-3)
+
+
 @settings(max_examples=50, deadline=None)
 @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=2, max_size=20))
 def test_property_interval_contains_sample_mean(values: list[float]) -> None:

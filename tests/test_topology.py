@@ -8,7 +8,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.net.topology import Position, Topology, generate_connected_random_topology
+from repro.net.topology import (
+    Position,
+    Topology,
+    generate_connected_random_topology,
+    generate_connected_topology,
+)
 from repro.sim.rng import RandomStreams
 
 
@@ -114,6 +119,131 @@ class TestConnectivityQueries:
             topo.remove_node(1)
 
 
+class TestRemoveNode:
+    """Topology mutation under permanent failures (the churn substrate)."""
+
+    def test_neighbor_sets_are_fully_rebuilt(self) -> None:
+        topo = Topology.grid(rows=2, cols=3, spacing=10.0)
+        # Node layout:  3 4 5
+        #               0 1 2   (axis-aligned neighbours only)
+        topo.remove_node(4)
+        assert 4 not in topo.positions
+        assert topo.node_ids == [0, 1, 2, 3, 5]
+        for node in topo.node_ids:
+            assert 4 not in topo.neighbors(node)
+        # Untouched adjacencies survive the rebuild.
+        assert topo.neighbors(0) == frozenset({1, 3})
+        assert topo.neighbors(1) == frozenset({0, 2})
+
+    def test_removal_can_disconnect_and_is_detected(self) -> None:
+        topo = Topology.line(num_nodes=5, spacing=10.0, comm_range=15.0)
+        assert topo.is_connected()
+        topo.remove_node(2)  # the middle node is a cut vertex
+        assert not topo.is_connected()
+        assert topo.connected_component_of(0) == frozenset({0, 1})
+        assert topo.connected_component_of(4) == frozenset({3, 4})
+
+    def test_removing_a_leaf_preserves_connectivity(self) -> None:
+        topo = Topology.line(num_nodes=4, spacing=10.0, comm_range=15.0)
+        topo.remove_node(3)
+        assert topo.is_connected()
+        assert topo.num_nodes == 3
+
+    def test_failure_injection_never_partitions_survivors(self) -> None:
+        """The failure-injection path uses remove_node on a scratch copy to
+        skip fraction-drawn victims that would partition the survivors."""
+        from repro.experiments.runner import install_failure_schedule
+        from repro.net.node import build_network
+        from repro.net.topology import FailureSchedule
+        from repro.radio.energy import IDEAL
+        from repro.routing.tree import build_routing_tree
+        from repro.sim.engine import Simulator
+        from repro.sim.trace import TraceRecorder
+
+        # In a 7-node line rooted at node 3, every interior node is a cut
+        # vertex: a 40% fraction can only ever fail end nodes (in order).
+        topo = Topology.line(num_nodes=7, spacing=10.0, comm_range=15.0)
+        sim = Simulator(seed=3, trace=TraceRecorder(enabled=False))
+        network = build_network(sim, topo, power_profile=IDEAL)
+        tree = build_routing_tree(topo, root=3)
+        schedule = FailureSchedule(fraction=0.4, window=(1.0, 2.0))
+        events = install_failure_schedule(sim, network, tree, schedule)
+        sim.run(until=5.0)
+        failed = {node for _, node in events}
+        assert failed
+        for node in failed:
+            assert network.node(node).failed
+        survivors = [n for n in tree.nodes if n not in failed]
+        scratch = Topology(
+            positions={n: topo.positions[n] for n in survivors},
+            comm_range=topo.comm_range,
+            area=topo.area,
+        )
+        assert scratch.is_connected()
+        assert tree.root in scratch.positions
+
+
+class TestNewGenerators:
+    def test_clustered_nodes_stay_inside_area(self) -> None:
+        topo = Topology.clustered(
+            40, num_clusters=4, cluster_radius=40.0, area=(400.0, 300.0), seed=9
+        )
+        assert topo.num_nodes == 40
+        for position in topo.positions.values():
+            assert 0.0 <= position.x <= 400.0
+            assert 0.0 <= position.y <= 300.0
+
+    def test_clustered_is_seed_deterministic(self) -> None:
+        a = Topology.clustered(20, num_clusters=3, seed=5)
+        b = Topology.clustered(20, num_clusters=3, seed=5)
+        assert a.positions == b.positions
+
+    def test_clustered_concentrates_nodes(self) -> None:
+        # With tight clusters, the average nearest-neighbour distance is far
+        # below that of a uniform placement over the same area.
+        def mean_nearest(topology: Topology) -> float:
+            total = 0.0
+            for a in topology.node_ids:
+                total += min(
+                    topology.distance(a, b) for b in topology.node_ids if b != a
+                )
+            return total / topology.num_nodes
+
+        clustered = Topology.clustered(
+            30, num_clusters=3, cluster_radius=20.0, area=(500.0, 500.0), seed=2
+        )
+        uniform = Topology.random(30, area=(500.0, 500.0), seed=2)
+        assert mean_nearest(clustered) < mean_nearest(uniform)
+
+    def test_clustered_validation(self) -> None:
+        with pytest.raises(ValueError):
+            Topology.clustered(0)
+        with pytest.raises(ValueError):
+            Topology.clustered(5, num_clusters=6)
+        with pytest.raises(ValueError):
+            Topology.clustered(5, cluster_radius=0.0)
+
+    def test_corridor_forms_a_chain(self) -> None:
+        topo = Topology.corridor(12, area=(900.0, 60.0), comm_range=125.0, seed=1)
+        assert topo.num_nodes == 12
+        assert topo.is_connected()
+        xs = [topo.positions[n].x for n in topo.node_ids]
+        assert xs == sorted(xs)  # node ids advance along the corridor
+        for position in topo.positions.values():
+            assert 0.0 <= position.y <= 60.0
+
+    def test_corridor_is_multi_hop(self) -> None:
+        topo = Topology.corridor(12, area=(900.0, 60.0), comm_range=125.0, seed=1)
+        # The two ends of the corridor must not hear each other directly.
+        assert not topo.in_range(0, 11)
+
+    def test_corridor_validation(self) -> None:
+        with pytest.raises(ValueError):
+            Topology.corridor(0)
+        with pytest.raises(ValueError):
+            Topology.corridor(5, area=(50.0, 100.0))
+
+
 class TestConnectedGeneration:
     def test_generated_topology_is_connected(self) -> None:
         topo = generate_connected_random_topology(
@@ -136,6 +266,29 @@ class TestConnectedGeneration:
             generate_connected_random_topology(
                 num_nodes=40, area=(5000.0, 5000.0), comm_range=10.0, seed=0, max_attempts=3
             )
+
+    def test_generic_generator_accepts_any_factory(self) -> None:
+        topo = generate_connected_topology(
+            lambda streams: Topology.clustered(
+                24, num_clusters=3, area=(400.0, 400.0), comm_range=125.0, streams=streams
+            ),
+            seed=7,
+        )
+        assert topo.is_connected()
+        assert topo.num_nodes == 24
+
+    def test_generic_generator_matches_random_helper(self) -> None:
+        # The uniform helper is a thin wrapper; both paths draw identically.
+        direct = generate_connected_random_topology(
+            num_nodes=15, area=(300.0, 300.0), comm_range=100.0, seed=21
+        )
+        generic = generate_connected_topology(
+            lambda streams: Topology.random(
+                num_nodes=15, area=(300.0, 300.0), comm_range=100.0, streams=streams
+            ),
+            seed=21,
+        )
+        assert direct.positions == generic.positions
 
 
 @settings(max_examples=30, deadline=None)
