@@ -26,13 +26,24 @@ from repro.experiments.config import ScenarioConfig, default_scale
 #: Where the orchestrator benchmark numbers land (repository root).
 ORCHESTRATOR_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_orchestrator.json"
 
+#: Where the hot-path benchmark numbers land (repository root).
+HOTPATH_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
 #: Filled by ``test_orchestrator_bench.py`` during the session; written on exit.
 _orchestrator_bench: dict = {}
+
+#: Filled by ``test_hotpath_bench.py`` during the session; written on exit.
+_hotpath_bench: dict = {}
 
 
 def record_orchestrator_bench(data: dict) -> None:
     """Stash the orchestrator benchmark numbers for session-end emission."""
     _orchestrator_bench.update(data)
+
+
+def record_hotpath_bench(data: dict) -> None:
+    """Stash the hot-path benchmark numbers for session-end emission."""
+    _hotpath_bench.update(data)
 
 
 @pytest.fixture()
@@ -41,11 +52,22 @@ def orchestrator_bench_recorder():
     return record_orchestrator_bench
 
 
+@pytest.fixture()
+def hotpath_bench_recorder():
+    """The hot-path recorder callable, exposed as a fixture."""
+    return record_hotpath_bench
+
+
 def pytest_sessionfinish(session, exitstatus) -> None:
-    """Emit ``BENCH_orchestrator.json`` if the orchestrator benchmark ran."""
+    """Emit the benchmark JSON artifacts for whichever benchmarks ran."""
     if _orchestrator_bench:
         ORCHESTRATOR_BENCH_PATH.write_text(
             json.dumps(_orchestrator_bench, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if _hotpath_bench:
+        HOTPATH_BENCH_PATH.write_text(
+            json.dumps(_hotpath_bench, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
 

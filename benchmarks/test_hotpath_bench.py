@@ -1,0 +1,234 @@
+"""Benchmark: simulation hot-path throughput (events/sec), ``BENCH_hotpath.json``.
+
+Measures the overhauled engine + channel hot path three ways and records
+everything into ``BENCH_hotpath.json`` at the repository root (see
+``conftest.record_hotpath_bench``):
+
+1. **Simulator kernel** -- a pure engine event storm (self-rescheduling
+   callbacks plus cancelled timers, no model code).  This isolates exactly
+   the layers the hot-path overhaul rewrote: event allocation, heap
+   ordering, lazy deletion, dispatch.
+2. **Paper-scale uniform scenario** -- one full replication per protocol
+   (DTS-SS and the contention-heavy PSM baseline), events/sec over the
+   ``sim.run`` wall time only (topology construction and metric collection
+   excluded).  Skipped when ``REPRO_HOTPATH_QUICK=1`` (the CI smoke job).
+3. **Densest ``density`` family variant** -- the same measurement at the
+   registry's highest node density, serial, plus a ``--jobs``-style parallel
+   sweep of the identical jobs through the orchestrator (parallel events/sec
+   derives from the serial per-run event counts, which are deterministic).
+
+Speedups are reported against committed pre-overhaul baselines (below).
+Those were measured on this repository's dev container at commit b64b1b1
+(best of 3), so the *ratios* are the meaningful trajectory numbers; the CI
+guard only fails when a cell regresses more than 2x below its baseline,
+which absorbs ordinary machine variance.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+
+import pytest
+
+from repro.experiments.config import paper_scale, default_scale
+from repro.experiments.metrics import DeliveryLog
+from repro.experiments.runner import build_protocol_suite, build_scenario_topology
+from repro.experiments.scenarios import rate_sweep_workload
+from repro.net.node import build_network
+from repro.orchestrator.api import ExperimentSpec, run_experiments
+from repro.orchestrator.jobs import RunJob
+from repro.routing.tree import build_routing_tree
+from repro.scenarios.registry import get_family
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+
+#: Pre-overhaul events/sec, measured at commit b64b1b1 (PR 2) on the dev
+#: container, best of 3.  Keys match the cells recorded below.
+PRE_PR_BASELINES = {
+    "kernel": 198_387,
+    "paper_uniform/DTS-SS": 86_155,
+    "paper_uniform/PSM": 48_650,
+    "densest_density/DTS-SS": 94_326,
+    "densest_density/PSM": 39_898,
+}
+
+#: A cell fails the benchmark only if it regresses more than this factor
+#: below its committed baseline (machine variance headroom; the committed
+#: BENCH_hotpath.json documents the actually-achieved speedups).
+REGRESSION_FLOOR = 0.5
+
+PROTOCOLS = ("DTS-SS", "PSM")
+
+QUICK_MODE = os.environ.get("REPRO_HOTPATH_QUICK", "").strip() in {"1", "true", "yes"}
+
+#: Best-of-N repetitions per serial cell (wall-clock noise suppression).
+REPS = 1 if QUICK_MODE else 2
+
+#: Events fired by the kernel storm.
+KERNEL_EVENTS = 400_000
+
+
+def _kernel_storm() -> dict:
+    """Pure-engine throughput: schedule/fire/cancel with no model work."""
+    sim = Simulator(seed=0, trace=TraceRecorder(enabled=False))
+    count = [0]
+
+    def tick(i: int) -> None:
+        count[0] += 1
+        handle = sim.schedule_in(0.001, tick, i)
+        if count[0] % 2 == 0:
+            handle.cancel()  # exercise lazy deletion
+            sim.schedule_in(0.0005, tick, i)
+
+    for i in range(100):
+        sim.schedule_in(0.001 * (i + 1) / 100, tick, i)
+    started = time.perf_counter()
+    sim.run(max_events=KERNEL_EVENTS)
+    seconds = time.perf_counter() - started
+    return {
+        "events": sim.processed_events,
+        "seconds": seconds,
+        "events_per_sec": sim.processed_events / seconds,
+    }
+
+
+def _run_cell(scenario, workload, protocol: str) -> dict:
+    """One full replication; events/sec over the ``sim.run`` time only."""
+    best = None
+    events = 0
+    for _ in range(REPS):
+        queries = RunJob(
+            scenario=scenario, protocol=protocol, workload=workload, seed=scenario.seed
+        ).resolve_queries()
+        sim = Simulator(seed=scenario.seed, trace=TraceRecorder(enabled=False))
+        topology = build_scenario_topology(scenario, scenario.seed)
+        network = build_network(
+            sim,
+            topology,
+            power_profile=scenario.power_profile,
+            mac_config=scenario.mac_config,
+        )
+        tree = build_routing_tree(
+            topology,
+            root=topology.center_node(),
+            max_distance_from_root=scenario.max_distance_from_root,
+        )
+        deliveries = DeliveryLog()
+        suite = build_protocol_suite(
+            protocol,
+            sim,
+            network,
+            tree,
+            on_root_delivery=deliveries,
+            break_even_time=scenario.break_even_time,
+        )
+        suite.register_queries(queries)
+        started = time.perf_counter()
+        sim.run(until=scenario.duration)
+        seconds = time.perf_counter() - started
+        events = sim.processed_events
+        best = seconds if best is None or seconds < best else best
+    return {"events": events, "seconds": best, "events_per_sec": events / best}
+
+
+def _parallel_sweep(scenario, workload, serial_events: int) -> dict:
+    """The same jobs fanned out with ``--jobs``-style workers.
+
+    Parallel wall time includes worker start-up; events/sec derives from the
+    (deterministic) serial event counts of the identical jobs.
+    """
+    workers = min(2, os.cpu_count() or 1)
+    specs = [
+        ExperimentSpec(scenario=scenario, protocol=protocol, workload=workload, num_runs=1)
+        for protocol in PROTOCOLS
+    ]
+    started = time.perf_counter()
+    run_experiments(specs, workers=workers)
+    seconds = time.perf_counter() - started
+    return {
+        "workers": workers,
+        "jobs": len(specs),
+        "seconds": seconds,
+        "events": serial_events,
+        "events_per_sec": serial_events / seconds,
+    }
+
+
+def _with_speedup(key: str, cell: dict) -> dict:
+    baseline = PRE_PR_BASELINES.get(key)
+    if baseline:
+        cell = dict(cell, pre_pr_events_per_sec=baseline, speedup_vs_pre_pr=cell["events_per_sec"] / baseline)
+    return cell
+
+
+def test_hotpath_throughput(hotpath_bench_recorder) -> None:
+    results: dict = {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "quick_mode": QUICK_MODE,
+        "regression_floor": REGRESSION_FLOOR,
+        "pre_pr_baselines": dict(PRE_PR_BASELINES),
+        "methodology": (
+            "serial cells time sim.run only (best of %d); parallel cells time the "
+            "orchestrated sweep wall clock; speedups are vs commit b64b1b1 on the "
+            "same machine" % REPS
+        ),
+    }
+
+    results["kernel"] = _with_speedup("kernel", _kernel_storm())
+
+    workload = rate_sweep_workload(2.0)
+    densest = max(get_family("density").variants(default_scale()), key=lambda v: v.x)
+    dense_cells = {}
+    dense_events_total = 0
+    for protocol in PROTOCOLS:
+        cell = _run_cell(densest.scenario, densest.workload, protocol)
+        dense_events_total += cell["events"]
+        dense_cells[protocol] = _with_speedup(f"densest_density/{protocol}", cell)
+    dense_cells["variant"] = {
+        "label": densest.label,
+        "num_nodes": densest.scenario.num_nodes,
+        "duration_s": densest.scenario.duration,
+    }
+    dense_cells["parallel"] = _parallel_sweep(
+        densest.scenario, densest.workload, dense_events_total
+    )
+    results["densest_density"] = dense_cells
+
+    if not QUICK_MODE:
+        paper = paper_scale()
+        paper_cells = {}
+        paper_events_total = 0
+        for protocol in PROTOCOLS:
+            cell = _run_cell(paper, workload, protocol)
+            paper_events_total += cell["events"]
+            paper_cells[protocol] = _with_speedup(f"paper_uniform/{protocol}", cell)
+        paper_cells["scenario"] = {
+            "num_nodes": paper.num_nodes,
+            "duration_s": paper.duration,
+        }
+        paper_cells["parallel"] = _parallel_sweep(paper, workload, paper_events_total)
+        results["paper_uniform"] = paper_cells
+
+    hotpath_bench_recorder(results)
+
+    # Regression guard: every measured cell must stay within REGRESSION_FLOOR
+    # of its committed baseline.
+    failures = []
+    for key, baseline in PRE_PR_BASELINES.items():
+        section, _, protocol = key.partition("/")
+        cell = results.get(section)
+        if cell is None:
+            continue  # paper cells skipped in quick mode
+        if protocol:
+            cell = cell[protocol]
+        if cell["events_per_sec"] < baseline * REGRESSION_FLOOR:
+            failures.append(
+                f"{key}: {cell['events_per_sec']:.0f} ev/s < "
+                f"{REGRESSION_FLOOR} x baseline {baseline}"
+            )
+    assert not failures, "hot-path throughput regressed: " + "; ".join(failures)

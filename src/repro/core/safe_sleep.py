@@ -39,7 +39,7 @@ from ..sim.events import EventPriority
 from .timing import TimingTable
 
 
-@dataclass
+@dataclass(slots=True)
 class SafeSleepStats:
     """Counters describing one node's Safe Sleep activity."""
 
@@ -53,6 +53,18 @@ class SafeSleepStats:
 
 class SafeSleep:
     """Safe Sleep scheduler instance for one node."""
+
+    __slots__ = (
+        "_sim",
+        "_radio",
+        "_mac",
+        "_table",
+        "break_even_time",
+        "setup_until",
+        "enabled",
+        "stats",
+        "_check_pending",
+    )
 
     def __init__(
         self,
@@ -81,14 +93,12 @@ class SafeSleep:
         self._check_pending = False
         table.subscribe(self.check_state)
         radio.on_wake(self.check_state)
-        radio.on_state_change(self._on_radio_state_change)
-
-    def _on_radio_state_change(self, old_state: RadioState, new_state: RadioState) -> None:
         # Re-evaluate whenever the radio returns to idle listening (e.g. it
         # just finished transmitting an acknowledgement): that is the moment
-        # the node may have become free.
-        if new_state is RadioState.IDLE:
-            self.check_state()
+        # the node may have become free.  Registered through the radio's
+        # idle-entry fast path so the listener does not run on every one of
+        # the (several-per-frame) other transitions.
+        radio.on_enter_idle(self.check_state)
 
     # ------------------------------------------------------------------ #
 
@@ -110,7 +120,11 @@ class SafeSleep:
             self.stats.kept_awake_setup_slot += 1
             self._schedule_recheck(self.setup_until)
             return
-        if self._radio.is_asleep:
+        # Read the radio state once (private attribute: this check runs after
+        # nearly every radio/table transition, and even the property
+        # descriptor was measurable here).
+        state = self._radio._state
+        if state is RadioState.OFF:
             # A new expectation may have appeared while asleep (e.g. a query
             # registered at runtime): pull the scheduled wake-up forward if
             # the node now needs to be up earlier.
@@ -118,7 +132,7 @@ class SafeSleep:
             if t_wakeup is not None:
                 self._radio.advance_wake(max(now, t_wakeup))
             return
-        if not self._radio.is_awake:
+        if state is RadioState.TURNING_ON or state is RadioState.TURNING_OFF:
             # Transitioning; the wake-up path re-checks on completion.
             return
         if self._mac.has_pending:
@@ -148,13 +162,15 @@ class SafeSleep:
 
         if self._radio.sleep_until(t_wakeup):
             self.stats.sleeps += 1
-            self._sim.trace.emit(
-                now,
-                "safe_sleep.sleep",
-                node=self._radio.node_id,
-                until=t_wakeup,
-                interval=t_sleep,
-            )
+            trace = self._sim.trace
+            if trace.enabled:
+                trace.emit(
+                    now,
+                    "safe_sleep.sleep",
+                    node=self._radio.node_id,
+                    until=t_wakeup,
+                    interval=t_sleep,
+                )
 
     def _schedule_recheck(self, when: float) -> None:
         if when <= self._sim.now:

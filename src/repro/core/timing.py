@@ -127,15 +127,18 @@ class TimingTable:
 
         Returns ``None`` when the node has no expectations at all (no queries
         routed through it), in which case Safe Sleep leaves the radio alone.
+        Runs on every Safe Sleep check, so it folds the minimum directly
+        instead of materialising the expectation list.
         """
-        times: List[float] = []
+        best: Optional[float] = None
         for timing in self._queries.values():
-            times.extend(timing.next_receive.values())
-            if timing.next_send is not None:
-                times.append(timing.next_send)
-        if not times:
-            return None
-        return min(times)
+            for time in timing.next_receive.values():
+                if best is None or time < best:
+                    best = time
+            next_send = timing.next_send
+            if next_send is not None and (best is None or next_send < best):
+                best = next_send
+        return best
 
     def is_empty(self) -> bool:
         """Whether no expectations are stored at all."""

@@ -24,12 +24,14 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional, Set, Tuple
 
+from ..net.addresses import BROADCAST
 from ..net.channel import WirelessChannel
 from ..net.packet import AckPacket, Packet
 from ..radio.radio import Radio
 from ..sim.engine import Simulator
 from ..sim.process import Timer
 from ..sim.rng import RandomStreams
+from ..radio.states import RadioState
 from .base import Mac, MacConfig, ReceiveCallback, SendDoneCallback
 from .queue import TransmitQueue
 from .stats import MacStats
@@ -91,6 +93,12 @@ class CsmaMac(Mac):
 
         self._attempt_timer = Timer(sim, self._on_attempt_timer, label=f"mac{node_id}.attempt")
         self._ack_timer = Timer(sim, self._on_ack_timeout, label=f"mac{node_id}.ack_timeout")
+        # Precomputed so the per-frame hot path does not rebuild the label
+        # or chase config attributes.
+        self._tx_done_label = f"mac{node_id}.tx_done"
+        self._slot_time = self.config.slot_time
+        self._difs = self.config.difs
+        self._use_acks = self.config.use_acks
 
         channel.register(node_id, radio, self._on_phy_receive)
         radio.on_wake(self._on_radio_wake)
@@ -112,20 +120,28 @@ class CsmaMac(Mac):
             self.stats.queue_drops += 1
             self._notify_send_done(packet, False)
             return False
-        self._sim.trace.emit(
-            self._sim.now,
-            "mac.enqueue",
-            node=self.node_id,
-            packet_id=packet.packet_id,
-            dst=packet.dst,
-            queue_len=len(self._queue),
-        )
+        trace = self._sim.trace
+        if trace.enabled:
+            trace.emit(
+                self._sim.now,
+                "mac.enqueue",
+                node=self.node_id,
+                packet_id=packet.packet_id,
+                dst=packet.dst,
+                queue_len=len(self._queue),
+            )
         self._maybe_start_next()
         return True
 
     @property
     def has_pending(self) -> bool:
-        return self._current is not None or len(self._queue) > 0 or self._pending_acks > 0
+        # Reads the queue's deque directly: this property gates every Safe
+        # Sleep decision, and the len(TransmitQueue) indirection showed up.
+        return (
+            self._current is not None
+            or len(self._queue._queue) > 0
+            or self._pending_acks > 0
+        )
 
     @property
     def pending_count(self) -> int:
@@ -153,29 +169,35 @@ class CsmaMac(Mac):
 
     def _start_attempt(self) -> None:
         assert self._current is not None
-        if not self._radio.is_awake:
+        # One read of the radio's state instead of the is_awake/can_transmit
+        # descriptor pair: this runs for every transmit attempt.
+        radio_state = self._radio._state
+        if radio_state is RadioState.OFF or radio_state is RadioState.TURNING_OFF or (
+            radio_state is RadioState.TURNING_ON
+        ):
             # The power manager has the radio off; resume when it wakes up.
             self._state = _MacState.WAITING_FOR_RADIO
             return
-        if not self._radio.can_transmit:
+        if radio_state is not RadioState.IDLE:
             # The radio is busy receiving or transmitting; retry shortly
             # after the channel clears.
-            self._defer(self._channel.time_until_idle(self.node_id) + self.config.difs)
+            self._defer(self._channel.time_until_idle(self.node_id) + self._difs)
             return
         if self._channel.is_busy(self.node_id):
             # Defer until the medium clears, plus DIFS plus a random backoff.
             self.stats.deferrals += 1
             backoff = self._draw_backoff()
-            self._defer(self._channel.time_until_idle(self.node_id) + self.config.difs + backoff)
+            self._defer(self._channel.time_until_idle(self.node_id) + self._difs + backoff)
             return
         # Medium currently idle: wait DIFS plus a small initial backoff, then
         # re-check and transmit.
         backoff = self._draw_backoff(initial=True)
-        self._defer(self.config.difs + backoff)
+        self._defer(self._difs + backoff)
 
     def _defer(self, delay: float) -> None:
         self._state = _MacState.DEFERRING
-        self._attempt_timer.start_in(max(delay, self.config.slot_time))
+        slot_time = self._slot_time
+        self._attempt_timer.start_in(delay if delay > slot_time else slot_time)
 
     def _draw_backoff(self, initial: bool = False) -> float:
         assert self._current is not None
@@ -184,23 +206,26 @@ class CsmaMac(Mac):
         if initial:
             window = min(window, self.config.cw_min)
         slots = self._rng.randint(0, window)
-        return slots * self.config.slot_time
+        return slots * self._slot_time
 
     def _on_attempt_timer(self) -> None:
         if self._current is None:
             self._state = _MacState.IDLE
             self._maybe_start_next()
             return
-        if not self._radio.is_awake:
+        radio_state = self._radio._state
+        if radio_state is RadioState.OFF or radio_state is RadioState.TURNING_OFF or (
+            radio_state is RadioState.TURNING_ON
+        ):
             self._state = _MacState.WAITING_FOR_RADIO
             return
-        if not self._radio.can_transmit or self._channel.is_busy(self.node_id):
+        if radio_state is not RadioState.IDLE or self._channel.is_busy(self.node_id):
             # Still busy: double the contention window and retry.
             self._current.cw = min(self._current.cw * 2 + 1, self.config.cw_max)
             self.stats.deferrals += 1
             self._defer(
                 self._channel.time_until_idle(self.node_id)
-                + self.config.difs
+                + self._difs
                 + self._draw_backoff()
             )
             return
@@ -213,15 +238,17 @@ class CsmaMac(Mac):
         airtime = self.config.frame_airtime(packet.size_bytes)
         self._state = _MacState.TRANSMITTING
         self._channel.transmit(self.node_id, packet, airtime)
-        self._sim.trace.emit(
-            self._sim.now,
-            "mac.tx",
-            node=self.node_id,
-            packet_id=packet.packet_id,
-            dst=packet.dst,
-            attempt=self._current.attempts,
-        )
-        self._sim.schedule_in(airtime, self._on_tx_complete, label=f"mac{self.node_id}.tx_done")
+        trace = self._sim.trace
+        if trace.enabled:
+            trace.emit(
+                self._sim.now,
+                "mac.tx",
+                node=self.node_id,
+                packet_id=packet.packet_id,
+                dst=packet.dst,
+                attempt=self._current.attempts,
+            )
+        self._sim.schedule_in(airtime, self._on_tx_complete, label=self._tx_done_label)
 
     def _on_tx_complete(self) -> None:
         if self._current is None:
@@ -230,9 +257,10 @@ class CsmaMac(Mac):
             return
         packet = self._current.packet
         self.stats.bytes_sent += packet.size_bytes
-        if packet.is_broadcast or not self.config.use_acks:
+        # ``packet.dst == BROADCAST`` inlines the is_broadcast property.
+        if packet.dst == BROADCAST or not self._use_acks:
             self.stats.frames_sent += 1
-            if packet.is_broadcast:
+            if packet.dst == BROADCAST:
                 self.stats.broadcasts_sent += 1
             self._complete_current(success=True)
             return
@@ -284,14 +312,14 @@ class CsmaMac(Mac):
         if isinstance(packet, AckPacket):
             self._handle_ack(packet)
             return
-        if packet.is_broadcast:
+        if packet.dst == BROADCAST:
             self.stats.frames_received += 1
             self._deliver(packet)
             return
         if packet.dst != self.node_id:
             # Overheard unicast frame destined elsewhere; ignore.
             return
-        if self.config.use_acks:
+        if self._use_acks:
             self._send_ack(packet)
         if self._is_duplicate(packet):
             return

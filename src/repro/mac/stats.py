@@ -6,9 +6,13 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 
-@dataclass
+@dataclass(slots=True)
 class MacStats:
-    """Counters describing the MAC behaviour of one node."""
+    """Counters describing the MAC behaviour of one node.
+
+    ``slots=True``: these counters are bumped on every frame event, and slot
+    access keeps the increments off the instance-dict path.
+    """
 
     frames_sent: int = 0
     frames_received: int = 0

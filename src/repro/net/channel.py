@@ -18,16 +18,29 @@ depends on:
 Propagation delay over <= 125 m is below a microsecond and is ignored, as is
 capture; both are standard simplifications that do not affect the protocol
 comparison.
+
+Hot-path design
+---------------
+Carrier sense used to iterate every in-flight transmission and call the
+topology's ``in_range`` (a Euclidean distance) per poll.  The channel now
+maintains a per-node *active-transmission index* (``_covering``): when a
+frame starts, it is appended to the index entry of the sender and of every
+in-range node (snapshotted on the transmission as ``covered``), and removed
+when it ends.  ``is_busy`` is then a dict lookup and ``time_until_idle`` a
+max over the handful of frames audible at one node.  Per-sender neighbour
+tuples are cached and invalidated via the topology's ``version`` counter so
+node removal (failure injection) stays correct.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sim.engine import Simulator
 from ..sim.events import EventPriority
 from ..radio.radio import Radio
+from ..radio.states import RadioState
 from .loss import LossModel, NoLoss
 from .packet import Packet
 from .topology import Topology
@@ -36,8 +49,13 @@ from .topology import Topology
 #: ``callback(packet, rx_start_time)``.
 DeliveryCallback = Callable[[Packet, float], None]
 
+#: Hot-loop constants (module-level loads beat enum attribute walks).
+_IDLE = RadioState.IDLE
+_OFF = RadioState.OFF
+_RX = RadioState.RX
 
-@dataclass
+
+@dataclass(slots=True)
 class Transmission:
     """Book-keeping for one frame currently on the air."""
 
@@ -47,10 +65,23 @@ class Transmission:
     end: float
     #: receiver node id -> frame still intact at that receiver
     receivers: Dict[int, bool] = field(default_factory=dict)
+    #: Node ids whose carrier-sense index holds this transmission (the
+    #: sender plus its in-range nodes at start-of-frame).
+    covered: Tuple[int, ...] = ()
 
 
 class ChannelStats:
     """Aggregate channel statistics for a simulation run."""
+
+    __slots__ = (
+        "transmissions",
+        "deliveries",
+        "collisions",
+        "missed_asleep",
+        "dropped_by_loss_model",
+        "dropped_from_failed_sender",
+        "bytes_transmitted",
+    )
 
     def __init__(self) -> None:
         self.transmissions = 0
@@ -86,12 +117,32 @@ class WirelessChannel:
         self._sim = sim
         self._topology = topology
         self._loss_model: LossModel = loss_model if loss_model is not None else NoLoss()
-        self._radios: Dict[int, Radio] = {}
-        self._delivery: Dict[int, DeliveryCallback] = {}
+        #: True when the loss model is the no-op default; lets the delivery
+        #: loop skip a per-receiver call (NoLoss draws no randomness, so the
+        #: skip is observationally identical).
+        self._lossless = isinstance(self._loss_model, NoLoss)
+        #: node id -> ``(radio, delivery_callback)``; one dict so the
+        #: per-receiver hot loops resolve both with a single lookup.
+        self._attached: Dict[int, Tuple[Radio, DeliveryCallback]] = {}
         #: sender id -> its in-flight transmission
         self._active: Dict[int, Transmission] = {}
-        #: receiver id -> the transmission it is currently locked onto
-        self._locked: Dict[int, Transmission] = {}
+        #: node id -> transmissions currently audible at that node (the
+        #: carrier-sense index maintained by ``transmit``/``_finish_transmission``).
+        #: Pre-seeded for every topology node so the transmit loop can index
+        #: directly; entries persist across unregistration (a dead node's
+        #: in-range senders still append here, harmlessly).
+        self._covering: Dict[int, List[Transmission]] = {
+            node_id: [] for node_id in topology.node_ids
+        }
+        #: receiver id -> the scheduled end of its post-collision RX drain
+        #: (the radio stays busy until every frame that overlapped its
+        #: corrupted reception has ended; see ``_finish_transmission``).
+        self._draining: Dict[int, object] = {}
+        #: sender id -> cached neighbour tuple (iteration order preserved
+        #: from the topology's frozensets); flushed when the topology's
+        #: ``version`` changes.
+        self._neighbor_cache: Dict[int, Tuple[int, ...]] = {}
+        self._topology_version: int = topology.version
         self.stats = ChannelStats()
 
     # ------------------------------------------------------------------ #
@@ -105,21 +156,59 @@ class WirelessChannel:
 
     def register(self, node_id: int, radio: Radio, deliver: DeliveryCallback) -> None:
         """Attach a node's radio and MAC delivery callback to the channel."""
-        if node_id in self._radios:
+        if node_id in self._attached:
             raise ValueError(f"node {node_id} is already registered on the channel")
-        self._radios[node_id] = radio
-        self._delivery[node_id] = deliver
+        self._attached[node_id] = (radio, deliver)
+        self._covering.setdefault(node_id, [])
 
     def unregister(self, node_id: int) -> None:
-        """Detach a node (permanent failure); in-flight frames to it are lost."""
-        self._radios.pop(node_id, None)
-        self._delivery.pop(node_id, None)
-        self._locked.pop(node_id, None)
-        self._active.pop(node_id, None)
+        """Detach a node (permanent failure); in-flight frames to it are lost.
+
+        Closes out the failed node's reception state and scrubs it from the
+        receiver maps of every in-flight transmission: a dead node can
+        neither stay locked onto a frame nor keep accumulating RX time, and
+        leaving phantom receiver entries behind would mis-attribute energy
+        right at the failure instant (churn scenarios hit this constantly).
+        """
+        attached = self._attached.pop(node_id, None)
+        radio = attached[0] if attached is not None else None
+        locked_tx = radio._rx_lock if radio is not None else None
+        if radio is not None:
+            radio._rx_lock = None
+        drain = self._draining.pop(node_id, None)
+        if drain is not None:
+            drain.cancel()
+        if radio is not None and (locked_tx is not None or drain is not None):
+            # End RX accounting at the failure instant instead of leaving the
+            # dead radio in RX until the end of the run.
+            radio.abort_rx()
+        for transmission in self._active.values():
+            transmission.receivers.pop(node_id, None)
+        own = self._active.pop(node_id, None)
+        if own is not None:
+            # The dead node cannot keep energy on the air: drop its frame
+            # from the carrier-sense index immediately, close its TX
+            # accounting at the failure instant (mirroring the RX case
+            # above), and corrupt the half-transmitted frame at every
+            # receiver -- a truncated frame cannot be decoded, so letting
+            # the scheduled finish deliver it intact would inflate delivery
+            # ratios in the very churn runs this fix targets.
+            if radio is not None and radio.state is RadioState.TX:
+                radio.end_tx()
+            covering = self._covering
+            for node in own.covered:
+                entries = covering.get(node)
+                if entries is not None and own in entries:
+                    entries.remove(own)
+            own.covered = ()
+            for receiver in own.receivers:
+                own.receivers[receiver] = False
+        self._neighbor_cache.pop(node_id, None)
 
     def set_loss_model(self, loss_model: LossModel) -> None:
         """Replace the loss model (used by failure-injection experiments)."""
         self._loss_model = loss_model
+        self._lossless = isinstance(loss_model, NoLoss)
 
     # ------------------------------------------------------------------ #
     # carrier sense
@@ -127,24 +216,35 @@ class WirelessChannel:
 
     def is_busy(self, node_id: int) -> bool:
         """Carrier sense at ``node_id``: is any in-range node transmitting?"""
-        if node_id in self._active:
-            return True
-        for sender in self._active:
-            if self._topology.in_range(sender, node_id):
-                return True
-        return False
+        covering = self._covering.get(node_id)
+        return bool(covering)
 
     def time_until_idle(self, node_id: int) -> float:
         """Time until every in-range transmission has ended (0 if idle now)."""
-        latest = self._sim.now
-        for sender, transmission in self._active.items():
-            if sender == node_id or self._topology.in_range(sender, node_id):
-                latest = max(latest, transmission.end)
-        return max(0.0, latest - self._sim.now)
+        covering = self._covering.get(node_id)
+        if not covering:
+            return 0.0
+        now = self._sim.now
+        latest = now
+        for transmission in covering:
+            if transmission.end > latest:
+                latest = transmission.end
+        return latest - now
 
     # ------------------------------------------------------------------ #
     # transmission
     # ------------------------------------------------------------------ #
+
+    def _neighbors_of(self, sender: int) -> Tuple[int, ...]:
+        """Cached neighbour tuple of ``sender`` for the current topology."""
+        topology = self._topology
+        if topology.version != self._topology_version:
+            self._neighbor_cache.clear()
+            self._topology_version = topology.version
+        neighbors = self._neighbor_cache.get(sender)
+        if neighbors is None:
+            neighbors = self._neighbor_cache[sender] = tuple(topology.neighbors(sender))
+        return neighbors
 
     def transmit(self, sender: int, packet: Packet, duration: float) -> Optional[Transmission]:
         """Put ``packet`` on the air from ``sender`` for ``duration`` seconds.
@@ -154,92 +254,180 @@ class WirelessChannel:
         that has been unregistered (it failed mid-operation) is silently
         discarded -- a dead node cannot put energy on the air.
         """
-        if sender not in self._radios:
+        attached = self._attached
+        sender_attached = attached.get(sender)
+        if sender_attached is None:
             self.stats.dropped_from_failed_sender += 1
             return None
+        radio = sender_attached[0]
         if duration <= 0:
             raise ValueError(f"transmission duration must be positive, got {duration!r}")
-        radio = self._radios[sender]
         radio.start_tx()
-        now = self._sim.now
+        sim = self._sim
+        now = sim.now
+        stats = self.stats
+        trace = sim.trace
+        tracing = trace.enabled
         transmission = Transmission(sender=sender, packet=packet, start=now, end=now + duration)
         self._active[sender] = transmission
-        self.stats.transmissions += 1
-        self.stats.bytes_transmitted += packet.size_bytes
-        self._sim.trace.emit(
-            now,
-            "channel.tx_start",
-            node=sender,
-            packet_id=packet.packet_id,
-            dst=packet.dst,
-            size=packet.size_bytes,
-        )
+        stats.transmissions += 1
+        stats.bytes_transmitted += packet.size_bytes
+        if tracing:
+            trace.emit(
+                now,
+                "channel.tx_start",
+                node=sender,
+                packet_id=packet.packet_id,
+                dst=packet.dst,
+                size=packet.size_bytes,
+            )
 
-        for neighbor in self._topology.neighbors(sender):
-            neighbor_radio = self._radios.get(neighbor)
-            if neighbor_radio is None:
+        neighbors = self._neighbors_of(sender)
+        covering = self._covering
+        covering[sender].append(transmission)
+        receivers = transmission.receivers
+        collisions = 0
+        missed_asleep = 0
+        idle = _IDLE
+        off = _OFF
+        rx = _RX
+        for neighbor in neighbors:
+            # The carrier-sense index hears the energy whatever the
+            # neighbour's radio (or registration) state.
+            covering[neighbor].append(transmission)
+
+            neighbor_attached = attached.get(neighbor)
+            if neighbor_attached is None:
                 continue
-            if neighbor in self._locked:
+            neighbor_radio = neighbor_attached[0]
+            locked_tx = neighbor_radio._rx_lock
+            if locked_tx is not None:
                 # The neighbour is already receiving another frame: that frame
                 # is corrupted and this one is not receivable there either.
-                self._locked[neighbor].receivers[neighbor] = False
-                self.stats.collisions += 1
-                self._sim.trace.emit(
-                    now, "channel.collision", node=neighbor, packet_id=packet.packet_id
-                )
+                locked_tx.receivers[neighbor] = False
+                collisions += 1
+                if tracing:
+                    trace.emit(
+                        now, "channel.collision", node=neighbor, packet_id=packet.packet_id
+                    )
                 continue
-            if not neighbor_radio.can_receive:
+            # Inlined Radio.can_receive / Radio.is_asleep: this loop runs for
+            # every in-range node of every frame on the air.
+            state = neighbor_radio._state
+            if state is not idle:
                 # Asleep, transitioning, or itself transmitting.
-                if neighbor_radio.is_asleep:
-                    self.stats.missed_asleep += 1
+                if state is off:
+                    missed_asleep += 1
                 continue
-            neighbor_radio.start_rx()
-            transmission.receivers[neighbor] = True
-            self._locked[neighbor] = transmission
+            # The IDLE check above is exactly Radio.start_rx's precondition,
+            # so enter RX without re-validating.
+            neighbor_radio._set_state(rx)
+            receivers[neighbor] = True
+            neighbor_radio._rx_lock = transmission
+        if collisions:
+            stats.collisions += collisions
+        if missed_asleep:
+            stats.missed_asleep += missed_asleep
+        transmission.covered = (sender,) + neighbors
 
-        self._sim.schedule_at(
+        sim.schedule_at(
             transmission.end,
             self._finish_transmission,
             transmission,
             priority=EventPriority.HIGH,
-            label=f"channel.tx_end.{packet.packet_id}",
+            label="channel.tx_end",
         )
         return transmission
 
+    def _end_drain(self, receiver: int) -> None:
+        """Return a post-collision receiver to idle once the air has cleared."""
+        self._draining.pop(receiver, None)
+        attached = self._attached.get(receiver)
+        if attached is None:
+            return
+        radio = attached[0]
+        if radio._state is _RX:
+            radio._set_state(_IDLE)
+
     def _finish_transmission(self, transmission: Transmission) -> None:
-        sender_radio = self._radios.get(transmission.sender)
-        if sender_radio is not None:
-            sender_radio.end_tx()
+        attached = self._attached
+        sender_attached = attached.get(transmission.sender)
+        if sender_attached is not None:
+            sender_attached[0].end_tx()
         self._active.pop(transmission.sender, None)
+        covering = self._covering
+        for node in transmission.covered:
+            covering[node].remove(transmission)
         now = self._sim.now
+        trace = self._sim.trace
+        tracing = trace.enabled
+        loss_model = None if self._lossless else self._loss_model
+        stats = self.stats
+        packet = transmission.packet
+        deliveries = 0
 
         for receiver, intact in transmission.receivers.items():
-            receiver_radio = self._radios.get(receiver)
-            if receiver_radio is None:
+            receiver_attached = attached.get(receiver)
+            if receiver_attached is None:
                 continue
-            if self._locked.get(receiver) is transmission:
-                del self._locked[receiver]
-                receiver_radio.end_rx()
+            receiver_radio = receiver_attached[0]
+            if receiver_radio._rx_lock is transmission:
+                receiver_radio._rx_lock = None
+                draining = False
+                if not intact:
+                    # BUGFIX(collision window): this receiver locked onto a
+                    # frame that was corrupted by an overlap.  If overlapping
+                    # frames are still on the air here, the radio keeps
+                    # hearing (unusable) energy, so it stays in RX until the
+                    # last of them ends instead of going idle and locking
+                    # onto a third frame mid-collision.  The horizon is fixed
+                    # at this instant: frames starting during the drain are
+                    # ordinary busy-radio misses (same fidelity as a frame
+                    # arriving at any non-idle radio), which keeps one
+                    # collision from cascading into an unbounded RX lock.
+                    others = covering.get(receiver)
+                    if others:
+                        horizon = others[0].end
+                        for other in others[1:]:
+                            if other.end > horizon:
+                                horizon = other.end
+                        self._draining[receiver] = self._sim.schedule_at(
+                            horizon,
+                            self._end_drain,
+                            receiver,
+                            priority=EventPriority.HIGH,
+                            label="channel.rx_drain",
+                        )
+                        draining = True
+                if not draining:
+                    # Invariant: a locked receiver's radio is in RX (the only
+                    # abort_rx caller, unregister, clears the lock first), so
+                    # leave RX without Radio.end_rx's re-validation.
+                    receiver_radio._set_state(_IDLE)
             if not intact:
                 continue
-            if self._loss_model.should_drop(transmission.sender, receiver, transmission.packet):
-                self.stats.dropped_by_loss_model += 1
-                self._sim.trace.emit(
+            if loss_model is not None and loss_model.should_drop(
+                transmission.sender, receiver, packet
+            ):
+                stats.dropped_by_loss_model += 1
+                if tracing:
+                    trace.emit(
+                        now,
+                        "channel.loss_model_drop",
+                        node=receiver,
+                        packet_id=packet.packet_id,
+                    )
+                continue
+            deliver = receiver_attached[1]
+            deliveries += 1
+            if tracing:
+                trace.emit(
                     now,
-                    "channel.loss_model_drop",
+                    "channel.delivery",
                     node=receiver,
-                    packet_id=transmission.packet.packet_id,
+                    packet_id=packet.packet_id,
+                    src=transmission.sender,
                 )
-                continue
-            deliver = self._delivery.get(receiver)
-            if deliver is None:
-                continue
-            self.stats.deliveries += 1
-            self._sim.trace.emit(
-                now,
-                "channel.delivery",
-                node=receiver,
-                packet_id=transmission.packet.packet_id,
-                src=transmission.sender,
-            )
-            deliver(transmission.packet, transmission.start)
+            deliver(packet, transmission.start)
+        if deliveries:
+            stats.deliveries += deliveries

@@ -59,6 +59,10 @@ class Topology:
     comm_range: float
     area: Tuple[float, float] = (500.0, 500.0)
     _neighbors: Dict[int, FrozenSet[int]] = field(default_factory=dict, repr=False)
+    #: Bumped every time the neighbour sets are rebuilt (node removal), so
+    #: consumers caching connectivity (the wireless channel's per-sender
+    #: neighbour tuples) can invalidate without re-deriving the sets.
+    _version: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.comm_range <= 0:
@@ -257,6 +261,11 @@ class Topology:
         """Identifiers of all nodes within communication range of ``node_id``."""
         return self._neighbors[node_id]
 
+    @property
+    def version(self) -> int:
+        """Connectivity generation counter; changes whenever neighbour sets do."""
+        return self._version
+
     def center_node(self) -> int:
         """The node closest to the centre of the deployment area.
 
@@ -309,6 +318,7 @@ class Topology:
         self._rebuild_neighbors()
 
     def _rebuild_neighbors(self) -> None:
+        self._version += 1
         nodes = sorted(self.positions)
         neighbor_map: Dict[int, set] = {node: set() for node in nodes}
         for i, a in enumerate(nodes):

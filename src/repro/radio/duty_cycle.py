@@ -12,7 +12,6 @@ length of each completed sleep interval.  The experiment metrics in
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -41,9 +40,31 @@ class DutyCycleTracker:
     and finalized with :meth:`close` at the end of the simulation.
     """
 
+    __slots__ = (
+        "_profile",
+        "_state_time",
+        "_touched",
+        "_state_order",
+        "_sleep_intervals",
+        "_current_state",
+        "_current_since",
+        "_start_time",
+        "_closed_at",
+        "_sleep_started_at",
+    )
+
     def __init__(self, profile: PowerProfile, start_time: float = 0.0) -> None:
         self._profile = profile
-        self._state_time: Dict[RadioState, float] = defaultdict(float)
+        # Accumulated residency per state, indexed by ``RadioState.slot``:
+        # a plain list sidesteps the interpreter-level enum hashing that a
+        # state-keyed dict pays twice per update (this runs on every radio
+        # state change).  ``_state_order`` remembers the first-touch order so
+        # the summing accessors add in exactly the order the previous
+        # dict-based implementation did (float addition is order-sensitive
+        # and these sums feed bit-for-bit-pinned metrics).
+        self._state_time: List[float] = [0.0] * len(RadioState)
+        self._touched: List[bool] = [False] * len(RadioState)
+        self._state_order: List[RadioState] = []
         self._sleep_intervals: List[float] = []
         self._current_state: RadioState = RadioState.IDLE
         self._current_since: float = start_time
@@ -60,6 +81,9 @@ class DutyCycleTracker:
 
         Consecutive identical states are merged.  Sleep intervals are
         measured from entering :attr:`RadioState.OFF` to leaving it.
+
+        NOTE: :meth:`repro.radio.radio.Radio._set_state` inlines this body
+        on its hot path; keep the two in sync.
         """
         if self._closed_at is not None:
             raise RuntimeError("tracker already closed")
@@ -68,11 +92,17 @@ class DutyCycleTracker:
                 f"state change at t={time} precedes current interval start "
                 f"t={self._current_since}"
             )
-        self._state_time[self._current_state] += time - self._current_since
+        current = self._current_state
+        slot = current.slot
+        if not self._touched[slot]:
+            self._touched[slot] = True
+            self._state_order.append(current)
+        self._state_time[slot] += time - self._current_since
 
-        if self._current_state is not RadioState.OFF and new_state is RadioState.OFF:
+        off = RadioState.OFF
+        if current is not off and new_state is off:
             self._sleep_started_at = time
-        elif self._current_state is RadioState.OFF and new_state is not RadioState.OFF:
+        elif current is off and new_state is not off:
             if self._sleep_started_at is not None:
                 self._sleep_intervals.append(time - self._sleep_started_at)
                 self._sleep_started_at = None
@@ -110,21 +140,23 @@ class DutyCycleTracker:
 
     def time_in_state(self, state: RadioState) -> float:
         """Total time accumulated in ``state`` so far."""
-        return self._state_time[state]
+        return self._state_time[state.slot]
 
     def total_time(self) -> float:
         """Total observed time across all states."""
-        return sum(self._state_time.values())
+        return sum(self._state_time[state.slot] for state in self._state_order)
 
     def active_time(self) -> float:
         """Total time in states that count as active (non-sleeping)."""
         return sum(
-            duration for state, duration in self._state_time.items() if is_active(state)
+            self._state_time[state.slot]
+            for state in self._state_order
+            if is_active(state)
         )
 
     def sleep_time(self) -> float:
         """Total time spent with the radio off."""
-        return self._state_time[RadioState.OFF]
+        return self._state_time[RadioState.OFF.slot]
 
     def duty_cycle(self) -> float:
         """Fraction of observed time the node was active, in [0, 1].
@@ -140,8 +172,8 @@ class DutyCycleTracker:
     def energy_consumed(self) -> float:
         """Total energy in joules consumed according to the power profile."""
         return sum(
-            self._profile.power(state) * duration
-            for state, duration in self._state_time.items()
+            self._profile.power(state) * self._state_time[state.slot]
+            for state in self._state_order
         )
 
     @property

@@ -31,8 +31,36 @@ class RadioError(RuntimeError):
     """Raised on invalid radio state transitions requested by callers."""
 
 
+#: Hot-path constants: identity checks against these avoid both rebuilding a
+#: member tuple per call and paying ``Enum.__hash__`` for a set lookup.
+_IDLE = RadioState.IDLE
+_RX = RadioState.RX
+_TX = RadioState.TX
+_OFF = RadioState.OFF
+
+
 class Radio:
     """Radio hardware model for a single node."""
+
+    __slots__ = (
+        "_sim",
+        "_trace",
+        "node_id",
+        "profile",
+        "_state",
+        "tracker",
+        "_wake_listeners",
+        "_sleep_listeners",
+        "_state_listeners",
+        "_idle_listeners",
+        "_rx_lock",
+        "_pending_wake",
+        "_pending_transition",
+        "_wake_requested_during_turn_off",
+        "sleep_count",
+        "wake_count",
+        "refused_sleeps",
+    )
 
     def __init__(
         self,
@@ -43,6 +71,9 @@ class Radio:
         start_awake: bool = True,
     ) -> None:
         self._sim = sim
+        # The recorder object is fixed for a simulator's lifetime; caching it
+        # saves a lookup chain on every state transition.
+        self._trace = sim.trace
         self.node_id = node_id
         self.profile = profile
         self._state = RadioState.IDLE if start_awake else RadioState.OFF
@@ -54,6 +85,11 @@ class Radio:
         self._wake_listeners: List[Callable[[], None]] = []
         self._sleep_listeners: List[Callable[[], None]] = []
         self._state_listeners: List[Callable[[RadioState, RadioState], None]] = []
+        self._idle_listeners: List[Callable[[], None]] = []
+        #: The in-flight transmission this radio is locked onto, if any.
+        #: Owned and maintained by the WirelessChannel (kept here because a
+        #: slot read beats a dict lookup in the per-receiver hot loops).
+        self._rx_lock = None
         self._pending_wake: Optional[EventHandle] = None
         self._pending_transition: Optional[EventHandle] = None
         self._wake_requested_during_turn_off = False
@@ -76,22 +112,23 @@ class Radio:
     @property
     def is_awake(self) -> bool:
         """Whether the radio is fully powered (idle, receiving or transmitting)."""
-        return self._state in (RadioState.IDLE, RadioState.RX, RadioState.TX)
+        state = self._state
+        return state is _IDLE or state is _RX or state is _TX
 
     @property
     def is_asleep(self) -> bool:
         """Whether the radio is fully powered down."""
-        return self._state is RadioState.OFF
+        return self._state is _OFF
 
     @property
     def can_receive(self) -> bool:
         """Whether a new incoming transmission can be locked onto right now."""
-        return self._state is RadioState.IDLE
+        return self._state is _IDLE
 
     @property
     def can_transmit(self) -> bool:
         """Whether the MAC may start a transmission right now."""
-        return self._state is RadioState.IDLE
+        return self._state is _IDLE
 
     @property
     def break_even_time(self) -> float:
@@ -118,6 +155,16 @@ class Radio:
     def on_state_change(self, listener: Callable[[RadioState, RadioState], None]) -> None:
         """Register ``listener(old_state, new_state)`` for every state change."""
         self._state_listeners.append(listener)
+
+    def on_enter_idle(self, listener: Callable[[], None]) -> None:
+        """Register ``listener()`` to run whenever the radio enters IDLE.
+
+        Fast-path variant of :meth:`on_state_change` for consumers that only
+        care about return-to-idle (Safe Sleep): the listener is invoked only
+        on IDLE entries instead of on every transition.  Idle listeners run
+        before any :meth:`on_state_change` listeners for the same transition.
+        """
+        self._idle_listeners.append(listener)
 
     # ------------------------------------------------------------------ #
     # power management interface
@@ -303,17 +350,54 @@ class Radio:
             listener()
 
     def _set_state(self, new_state: RadioState) -> None:
-        if new_state is self._state:
-            return
-        self.tracker.record_state(self._sim.now, new_state)
-        self._sim.trace.emit(
-            self._sim.now,
-            "radio.state",
-            node=self.node_id,
-            old=self._state.value,
-            new=new_state.value,
-        )
         old_state = self._state
+        if new_state is old_state:
+            return
+        sim = self._sim
+        now = sim.now
+        # Inlined DutyCycleTracker.record_state (keep in sync with it): a
+        # radio transition happens several times per simulated frame, and
+        # the extra call layer was measurable at paper scale.
+        tracker = self.tracker
+        if tracker._closed_at is not None:
+            raise RuntimeError("tracker already closed")
+        since = tracker._current_since
+        if now < since:
+            raise ValueError(
+                f"state change at t={now} precedes current interval start t={since}"
+            )
+        current = tracker._current_state
+        slot = current.slot
+        if not tracker._touched[slot]:
+            tracker._touched[slot] = True
+            tracker._state_order.append(current)
+        tracker._state_time[slot] += now - since
+        off = _OFF
+        if current is not off and new_state is off:
+            tracker._sleep_started_at = now
+        elif current is off and new_state is not off:
+            if tracker._sleep_started_at is not None:
+                tracker._sleep_intervals.append(now - tracker._sleep_started_at)
+                tracker._sleep_started_at = None
+        tracker._current_state = new_state
+        tracker._current_since = now
+
+        trace = self._trace
+        if trace.enabled:
+            trace.emit(
+                now,
+                "radio.state",
+                node=self.node_id,
+                old=old_state.value,
+                new=new_state.value,
+            )
         self._state = new_state
-        for listener in self._state_listeners:
-            listener(old_state, new_state)
+        if new_state is _IDLE:
+            idle_listeners = self._idle_listeners
+            if idle_listeners:
+                for listener in idle_listeners:
+                    listener()
+        listeners = self._state_listeners
+        if listeners:
+            for listener in listeners:
+                listener(old_state, new_state)

@@ -29,6 +29,15 @@ class RadioState(enum.Enum):
     TX = "tx"
 
 
+# Hot-path support: ``Enum.__hash__`` is a Python-level function, so dicts
+# keyed by RadioState pay two interpreter-level hashes per update.  Each
+# member instead carries a small stable integer ``slot`` so per-state
+# accumulators (the duty-cycle tracker) can be plain lists.
+for _slot, _state in enumerate(RadioState):
+    _state.slot = _slot
+del _slot, _state
+
+
 #: States in which the node counts as *active* for duty-cycle purposes.  The
 #: paper defines duty cycle as "the percentage of time a node remains active
 #: during a query"; transition periods consume energy and are therefore

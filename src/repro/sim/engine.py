@@ -13,11 +13,25 @@ substrate: a deterministic, heap-based discrete-event simulator with
 The engine is intentionally simple and synchronous: callbacks run to
 completion and may schedule further events.  All of the network, MAC, radio,
 query-service and ESSAT protocol models are built on top of it.
+
+Hot-path design
+---------------
+The heap stores ``(time, priority, sequence, event)`` tuples so every sift
+comparison is a C-level tuple comparison, and ``schedule_at``/``schedule_in``
+hand the ``__slots__`` :class:`Event` straight back as the cancellation
+handle (no separate handle allocation).  Cancellation is *lazy*: a cancelled
+event stays queued until the run loop reaches it, and a counter tracks how
+many cancelled entries the heap still holds.  :attr:`pending_events` (live
+events only) is therefore O(1) -- ``queued_events - cancelled entries`` --
+while :attr:`queued_events` is the raw heap length including cancelled
+entries not yet popped, i.e. queue memory pressure rather than remaining
+work.
 """
 
 from __future__ import annotations
 
-import heapq
+import math
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional
 
 from .events import Event, EventHandle, EventPriority
@@ -42,13 +56,31 @@ class Simulator:
         created (recording can be disabled on the recorder itself).
     """
 
+    __slots__ = (
+        "now",
+        "_heap",
+        "_sequence",
+        "_running",
+        "_stopped",
+        "_processed_events",
+        "_cancelled_in_heap",
+        "streams",
+        "trace",
+    )
+
     def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None) -> None:
-        self._now: float = 0.0
-        self._heap: list[Event] = []
+        #: Current simulation time in seconds.  A plain attribute rather
+        #: than a property: it is read on virtually every model callback,
+        #: and the descriptor call was measurable.  Treat as read-only;
+        #: only the run loop advances it.
+        self.now: float = 0.0
+        self._heap: list = []
         self._sequence: int = 0
         self._running: bool = False
         self._stopped: bool = False
         self._processed_events: int = 0
+        #: Cancelled events still sitting in the heap (lazy deletion).
+        self._cancelled_in_heap: int = 0
         self.streams = RandomStreams(seed)
         self.trace = trace if trace is not None else TraceRecorder()
 
@@ -57,19 +89,18 @@ class Simulator:
     # ------------------------------------------------------------------ #
 
     @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
-
-    @property
     def processed_events(self) -> int:
         """Number of events that have fired so far."""
         return self._processed_events
 
     @property
     def pending_events(self) -> int:
-        """Number of live events still in the queue (excluding cancelled ones)."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of live events still in the queue (excluding cancelled ones).
+
+        O(1): the lazy-deletion counter tracks cancelled entries, so this no
+        longer scans the heap.
+        """
+        return len(self._heap) - self._cancelled_in_heap
 
     @property
     def queued_events(self) -> int:
@@ -92,29 +123,26 @@ class Simulator:
         *args: Any,
         priority: int = EventPriority.NORMAL,
         label: str = "",
-        **kwargs: Any,
     ) -> EventHandle:
-        """Schedule ``callback(*args, **kwargs)`` at absolute time ``time``.
+        """Schedule ``callback(*args)`` at absolute time ``time``.
 
         Scheduling in the past raises :class:`SimulationError`; scheduling at
         exactly ``now`` is allowed and the event fires after the currently
-        executing callback returns.
+        executing callback returns.  Callbacks take positional arguments
+        only: a ``**kwargs`` pass-through would cost a dict allocation on
+        every call of this extremely hot path (bind keywords with
+        ``functools.partial`` in the rare case they are needed).
         """
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule event at t={time:.9f} before now={self._now:.9f}"
+                f"cannot schedule event at t={time:.9f} before now={self.now:.9f}"
             )
-        event = Event(
-            time=float(time),
-            priority=int(priority),
-            sequence=self._next_sequence(),
-            callback=callback,
-            args=args,
-            kwargs=kwargs,
-            label=label,
-        )
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._sequence = sequence = self._sequence + 1
+        event = Event(time, priority, sequence, callback, args, None, False, label)
+        event._sim = self
+        event._in_heap = True
+        heappush(self._heap, (time, priority, sequence, event))
+        return event
 
     def schedule_in(
         self,
@@ -123,18 +151,22 @@ class Simulator:
         *args: Any,
         priority: int = EventPriority.NORMAL,
         label: str = "",
-        **kwargs: Any,
     ) -> EventHandle:
-        """Schedule ``callback`` after a relative ``delay`` (seconds, >= 0)."""
+        """Schedule ``callback(*args)`` after a relative ``delay`` (>= 0 s).
+
+        Fast path: a non-negative delay can never land in the past, so this
+        skips :meth:`schedule_at`'s past-check and pushes directly.
+        Positional callback arguments only (see :meth:`schedule_at`).
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule event with negative delay {delay!r}")
-        return self.schedule_at(
-            self._now + delay, callback, *args, priority=priority, label=label, **kwargs
-        )
-
-    def _next_sequence(self) -> int:
-        self._sequence += 1
-        return self._sequence
+        time = self.now + delay
+        self._sequence = sequence = self._sequence + 1
+        event = Event(time, priority, sequence, callback, args, None, False, label)
+        event._sim = self
+        event._in_heap = True
+        heappush(self._heap, (time, priority, sequence, event))
+        return event
 
     # ------------------------------------------------------------------ #
     # execution
@@ -162,29 +194,41 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired_this_run = 0
+        horizon = math.inf if until is None else until
+        budget = math.inf if max_events is None else max_events
+        heap = self._heap
+        pop = heappop
         try:
-            while self._heap:
+            while heap:
                 if self._stopped:
                     break
-                event = self._heap[0]
+                entry = heap[0]
+                event = entry[3]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    pop(heap)
+                    event._in_heap = False
+                    self._cancelled_in_heap -= 1
                     continue
-                if until is not None and event.time > until:
+                time = entry[0]
+                if time > horizon:
                     break
-                heapq.heappop(self._heap)
-                if event.time < self._now:
+                pop(heap)
+                event._in_heap = False
+                if time < self.now:
                     raise SimulationError(
                         "event queue corrupted: event in the past "
-                        f"({event.time:.9f} < {self._now:.9f})"
+                        f"({time:.9f} < {self.now:.9f})"
                     )
-                self._now = event.time
-                event.fire()
-                self._processed_events += 1
+                self.now = time
+                kwargs = event.kwargs
+                if kwargs:
+                    event.callback(*event.args, **kwargs)
+                else:
+                    event.callback(*event.args)
                 fired_this_run += 1
-                if max_events is not None and fired_this_run >= max_events:
+                if fired_this_run >= budget:
                     break
-            if until is not None and not self._stopped and self._now < until:
+            if until is not None and not self._stopped and self.now < until:
                 # Advance the clock to the requested horizon so that metrics
                 # spanning [0, until] are well defined -- but only when no
                 # live event remains at or before `until`.  If `max_events`
@@ -192,10 +236,11 @@ class Simulator:
                 # events would make the next run() see events in the past.
                 next_time = self.peek_next_time()
                 if next_time is None or next_time > until:
-                    self._now = until
+                    self.now = until
         finally:
+            self._processed_events += fired_this_run
             self._running = False
-        return self._now
+        return self.now
 
     def stop(self) -> None:
         """Request that the current :meth:`run` stop after the current event."""
@@ -203,11 +248,16 @@ class Simulator:
 
     def peek_next_time(self) -> Optional[float]:
         """Return the time of the next pending event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[3].cancelled:
+                heappop(heap)
+                entry[3]._in_heap = False
+                self._cancelled_in_heap -= 1
+                continue
+            return entry[0]
+        return None
 
     # ------------------------------------------------------------------ #
     # convenience
@@ -229,7 +279,7 @@ class Simulator:
         if period <= 0:
             raise SimulationError(f"period must be positive, got {period!r}")
         handle = PeriodicHandle(self, period, callback, count=count, label=label)
-        first = self._now + period if start is None else start
+        first = self.now + period if start is None else start
         handle._arm(first)
         return handle
 

@@ -4,13 +4,18 @@ The engine schedules :class:`Event` objects on a priority queue keyed by
 ``(time, priority, sequence)``.  The sequence number guarantees a total,
 deterministic ordering even when two events share the same timestamp and
 priority, which is essential for reproducible simulations.
+
+The heap itself stores ``(time, priority, sequence, event)`` tuples so that
+sift comparisons stay entirely in C; :class:`Event` is a ``__slots__`` class
+rather than a dataclass because one is allocated for every scheduled
+callback, which makes its construction cost part of the simulator's
+per-event budget.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 
 class EventPriority(enum.IntEnum):
@@ -28,35 +33,80 @@ class EventPriority(enum.IntEnum):
     LOW = 2
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
-    Events compare by ``(time, priority, sequence)`` so that they can be
-    stored directly in a heap.  The callback and its arguments are excluded
-    from comparison.
+    Events order by ``(time, priority, sequence)``; the callback and its
+    arguments are excluded from comparison.  ``kwargs`` is ``None`` (not an
+    empty dict) when the callback takes no keyword arguments, so the common
+    positional-only case allocates nothing extra.
+
+    The engine hands the scheduled :class:`Event` straight back to the
+    caller as the cancellation handle; ``_sim``/``_in_heap`` let
+    :meth:`cancel` keep the owning simulator's lazy-deletion counter exact
+    without the engine re-scanning its heap.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    kwargs: dict = field(compare=False, default_factory=dict)
-    cancelled: bool = field(compare=False, default=False)
-    label: str = field(compare=False, default="")
+    __slots__ = (
+        "time",
+        "priority",
+        "sequence",
+        "callback",
+        "args",
+        "kwargs",
+        "cancelled",
+        "label",
+        "_sim",
+        "_in_heap",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        cancelled: bool = False,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = cancelled
+        self.label = label
+        self._sim = None
+        self._in_heap = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.sequence) < (
+            other.time,
+            other.priority,
+            other.sequence,
+        )
 
     def cancel(self) -> None:
-        """Mark the event as cancelled.
+        """Mark the event as cancelled (idempotent).
 
         Cancelled events stay in the heap but are skipped when popped; this
-        is O(1) and avoids an expensive heap removal.
+        is O(1) and avoids an expensive heap removal.  The owning
+        simulator's lazy-deletion counter is bumped so that
+        ``pending_events`` stays exact without scanning the heap.
         """
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._in_heap and self._sim is not None:
+                self._sim._cancelled_in_heap += 1
 
     def fire(self) -> Any:
         """Invoke the callback. The engine calls this; users normally don't."""
-        return self.callback(*self.args, **self.kwargs)
+        if self.kwargs:
+            return self.callback(*self.args, **self.kwargs)
+        return self.callback(*self.args)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self.callback, "__qualname__", repr(self.callback))
@@ -67,36 +117,8 @@ class Event:
         )
 
 
-class EventHandle:
-    """A lightweight, user-facing handle to a scheduled event.
-
-    Handles allow callers to cancel an event, or to query whether it is still
-    pending, without exposing the mutable :class:`Event` internals.
-    """
-
-    __slots__ = ("_event",)
-
-    def __init__(self, event: Event) -> None:
-        self._event = event
-
-    @property
-    def time(self) -> float:
-        """The simulation time at which the event is scheduled to fire."""
-        return self._event.time
-
-    @property
-    def cancelled(self) -> bool:
-        """Whether the event has been cancelled."""
-        return self._event.cancelled
-
-    @property
-    def label(self) -> str:
-        """An optional human-readable label attached at scheduling time."""
-        return self._event.label
-
-    def cancel(self) -> None:
-        """Cancel the underlying event (idempotent)."""
-        self._event.cancel()
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"EventHandle({self._event!r})"
+#: Backwards-compatible alias: the engine used to wrap every :class:`Event`
+#: in a separate handle object, but the event itself now exposes the same
+#: user-facing surface (``time``, ``label``, ``cancelled``, ``cancel()``),
+#: so scheduling no longer allocates a second object per event.
+EventHandle = Event

@@ -20,6 +20,8 @@ class Timer:
     previous event first, so callers never have to track stale handles.
     """
 
+    __slots__ = ("_sim", "_callback", "_label", "_priority", "_handle", "fired_count")
+
     def __init__(
         self,
         sim: Simulator,
@@ -54,7 +56,9 @@ class Timer:
 
     def start_at(self, time: float) -> None:
         """(Re-)arm the timer to fire at absolute time ``time``."""
-        self.cancel()
+        handle = self._handle
+        if handle is not None:
+            handle.cancel()
         self._handle = self._sim.schedule_at(
             time, self._fire, priority=self._priority, label=self._label
         )

@@ -5,6 +5,19 @@ transmissions, sleep decisions, phase shifts, ...) through a shared
 :class:`TraceRecorder`.  Metrics code and tests consume the records; the
 recorder can be disabled entirely for large benchmark runs, or filtered to a
 subset of categories to bound memory use.
+
+Hot-path contract: emission must be *free* when recording is disabled.
+:meth:`TraceRecorder.emit` takes its payload as ``**data`` keyword
+arguments, so the caller allocates a dict (and evaluates the payload
+expressions) before ``emit`` can early-out.  Hot call sites therefore guard
+on the public :attr:`TraceRecorder.enabled` flag::
+
+    trace = sim.trace
+    if trace.enabled:
+        trace.emit(now, "radio.state", node=..., old=..., new=...)
+
+Cold call sites (setup, failures, once-per-report events) may call ``emit``
+unconditionally; it still checks ``enabled`` itself.
 """
 
 from __future__ import annotations

@@ -136,6 +136,161 @@ class TestCollisions:
         assert channel.stats.collisions == 0
 
 
+class TestCollisionWindow:
+    """Regression tests for the collision-window bugfix.
+
+    Pre-fix, a receiver locked onto a corrupted frame was unlocked and
+    ``end_rx()``-ed as soon as the *first* overlapping frame ended, even
+    though the second frame was still on the air -- so the node could lock
+    onto a third frame mid-collision and its radio under-counted receive
+    time.
+    """
+
+    @staticmethod
+    def _star():
+        # Receiver 0 at the centre; senders 1, 2, 3 all in range of 0 but
+        # pairwise out of range (hidden terminals).
+        topo = Topology.from_positions(
+            [(0.0, 0.0), (100.0, 0.0), (-100.0, 0.0), (0.0, 100.0)],
+            comm_range=120.0,
+        )
+        return _build_channel(topo)
+
+    def test_receiver_stays_locked_until_all_overlapping_frames_end(self) -> None:
+        sim, channel, radios, inboxes = self._star()
+        sim.schedule_at(0.000, channel.transmit, 1, Packet(src=1, dst=0), 0.010)  # A
+        sim.schedule_at(0.002, channel.transmit, 2, Packet(src=2, dst=0), 0.010)  # B
+        # A ends at 0.010 while B is still on the air until 0.012; the
+        # receiver's radio must stay in RX for the whole collision.
+        sim.run(until=0.011)
+        assert radios[0].state is RadioState.RX
+        sim.run(until=0.013)
+        assert radios[0].state is RadioState.IDLE
+        assert inboxes[0] == []
+        radios[0].finalize()
+        # Pre-fix: RX ended with frame A at 0.010.
+        assert radios[0].tracker.time_in_state(RadioState.RX) == pytest.approx(0.012)
+
+    def test_receiver_cannot_lock_a_third_frame_mid_collision(self) -> None:
+        sim, channel, radios, inboxes = self._star()
+        sim.schedule_at(0.000, channel.transmit, 1, Packet(src=1, dst=0), 0.010)  # A
+        sim.schedule_at(0.002, channel.transmit, 2, Packet(src=2, dst=0), 0.010)  # B
+        # C starts after A ended but while B is still in the air.  Pre-fix
+        # the receiver had (wrongly) gone idle at A's end and locked onto C
+        # intact, delivering a frame born into a collision.
+        sim.schedule_at(0.011, channel.transmit, 3, Packet(src=3, dst=0), 0.010)  # C
+        sim.run()
+        assert inboxes[0] == []
+        radios[0].finalize()
+        # Busy from first lock (0.000) until the frames overlapping the
+        # corrupted reception cleared the air (B's end, 0.012); C, which
+        # started mid-drain, is an ordinary busy-radio miss and does not
+        # extend the lock (no cascading RX livelock).
+        assert radios[0].tracker.time_in_state(RadioState.RX) == pytest.approx(0.012)
+
+
+class TestUnregisterAccounting:
+    """Regression tests for the failure-injection accounting bugfix.
+
+    Pre-fix, ``unregister`` dropped the dead node from ``_locked`` but left
+    it in other transmissions' ``receivers`` maps and never closed out its
+    radio RX state, so churn runs leaked phantom receiver entries and kept
+    charging RX energy to a dead radio.
+    """
+
+    def test_unregister_mid_reception_closes_rx_accounting(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        transmission = {}
+
+        def start_tx():
+            transmission["tx"] = channel.transmit(0, Packet(src=0, dst=1), 0.010)
+
+        sim.schedule_at(0.0, start_tx)
+        sim.schedule_at(0.005, channel.unregister, 1)
+        sim.run(until=0.005)
+        # The dead node's reception ends at the failure instant...
+        assert radios[1].state is RadioState.IDLE
+        # ...and it is scrubbed from the in-flight frame's receiver map.
+        assert 1 not in transmission["tx"].receivers
+        sim.run()
+        assert inboxes[1] == []
+        radios[1].finalize()
+        # Pre-fix the radio sat in RX from 0.0 until the end of the run.
+        assert radios[1].tracker.time_in_state(RadioState.RX) == pytest.approx(0.005)
+
+    def test_failure_injection_path_closes_rx_accounting(self) -> None:
+        # Same bug exercised through the PR 2 failure-injection machinery:
+        # a scheduled FailureSchedule failure routed through
+        # Network.fail_node while the victim is mid-reception.
+        from repro.mac.base import MacConfig
+        from repro.net.node import build_network
+        from repro.net.topology import FailureSchedule
+        from repro.sim.rng import RandomStreams
+
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim = Simulator(seed=0)
+        network = build_network(sim, topo, power_profile=IDEAL, mac_config=MacConfig())
+        victim = 1
+        schedule = FailureSchedule(explicit=((0.005, victim),))
+        events = schedule.materialize([victim], RandomStreams(0).get("scenario.failures"))
+        for time, node_id in events:
+            sim.schedule_at(time, network.fail_node, node_id)
+        # Put a frame on the air directly so the victim is locked when the
+        # scheduled failure fires.
+        sim.schedule_at(0.0, network.channel.transmit, 0, Packet(src=0, dst=1), 0.010)
+        sim.run(until=1.0)
+        network.finalize()
+        assert network.nodes[victim].failed
+        victim_radio = network.nodes[victim].radio
+        # Pre-fix: the dead radio stayed in RX until the end of the run and
+        # its tracker charged a full second of receive energy.
+        assert victim_radio.tracker.time_in_state(RadioState.RX) == pytest.approx(0.005)
+
+    def test_unregister_mid_transmission_closes_tx_accounting(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        sim.schedule_at(0.0, channel.transmit, 0, Packet(src=0, dst=1), 0.010)
+        sim.schedule_at(0.005, channel.unregister, 0)
+        sim.run(until=1.0)
+        # The dead sender's TX accounting ends at the failure instant
+        # instead of charging full TX power for the rest of the run.
+        assert radios[0].state is not RadioState.TX
+        radios[0].finalize()
+        assert radios[0].tracker.time_in_state(RadioState.TX) == pytest.approx(0.005)
+
+    def test_dead_senders_half_transmitted_frame_is_not_delivered(self) -> None:
+        topo = Topology.line(2, spacing=50.0, comm_range=100.0)
+        sim, channel, radios, inboxes = _build_channel(topo)
+        sim.schedule_at(0.0, channel.transmit, 0, Packet(src=0, dst=1), 0.010)
+        sim.schedule_at(0.005, channel.unregister, 0)
+        sim.run()
+        # A truncated frame cannot be decoded: the receiver unlocks at the
+        # frame's scheduled end but receives nothing.
+        assert inboxes[1] == []
+        assert radios[1].state is RadioState.IDLE
+        assert channel.stats.deliveries == 0
+
+    def test_unregister_scrubs_phantom_receivers_from_all_transmissions(self) -> None:
+        # Receiver in range of two hidden senders: both in-flight frames
+        # must drop the dead node from their receiver maps.
+        topo = Topology.from_positions(
+            [(0.0, 0.0), (100.0, 0.0), (-100.0, 0.0)], comm_range=120.0
+        )
+        sim, channel, radios, inboxes = _build_channel(topo)
+        frames = {}
+
+        def start(sender, key, duration):
+            frames[key] = channel.transmit(sender, Packet(src=sender, dst=0), duration)
+
+        sim.schedule_at(0.000, start, 1, "a", 0.010)
+        sim.schedule_at(0.002, start, 2, "b", 0.010)
+        sim.schedule_at(0.004, channel.unregister, 0)
+        sim.run()
+        assert 0 not in frames["a"].receivers
+        assert 0 not in frames["b"].receivers
+
+
 class TestCarrierSense:
     def test_is_busy_when_neighbor_transmits(self) -> None:
         topo = Topology.line(3, spacing=100.0, comm_range=120.0)
