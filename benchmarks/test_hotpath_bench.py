@@ -36,7 +36,9 @@ from repro.experiments.config import paper_scale, default_scale
 from repro.experiments.metrics import DeliveryLog
 from repro.experiments.runner import build_protocol_suite, build_scenario_topology
 from repro.experiments.scenarios import rate_sweep_workload
+from repro.net.loss import build_loss_from_spec
 from repro.net.node import build_network
+from repro.net.propagation import PropagationSpec, build_propagation_from_spec
 from repro.orchestrator.api import ExperimentSpec, run_experiments
 from repro.orchestrator.jobs import RunJob
 from repro.routing.tree import build_routing_tree
@@ -109,6 +111,8 @@ def _run_cell(scenario, workload, protocol: str) -> dict:
             topology,
             power_profile=scenario.power_profile,
             mac_config=scenario.mac_config,
+            loss_model=build_loss_from_spec(scenario.loss, seed=scenario.seed),
+            propagation=build_propagation_from_spec(scenario.propagation, seed=scenario.seed),
         )
         tree = build_routing_tree(
             topology,
@@ -198,6 +202,29 @@ def test_hotpath_throughput(hotpath_bench_recorder) -> None:
         densest.scenario, densest.workload, dense_events_total
     )
     results["densest_density"] = dense_cells
+
+    # Propagation-layer cells (PR 4): the same reduced-scale scenario under
+    # the non-default reception strategies.  Recorded for trajectory only --
+    # there is no pre-PR baseline because the models did not exist; the
+    # guarded cells above pin that the *default* unit-disk path kept its
+    # speed with the strategy indirection in place.
+    reduced = default_scale()
+    results["propagation_models"] = {
+        "sinr": _run_cell(
+            reduced.with_overrides(
+                propagation=PropagationSpec.make("sinr", capture_db=6.0)
+            ),
+            workload,
+            "DTS-SS",
+        ),
+        "shadowing": _run_cell(
+            reduced.with_overrides(
+                propagation=PropagationSpec.make("shadowing", sigma_db=4.0)
+            ),
+            workload,
+            "DTS-SS",
+        ),
+    }
 
     if not QUICK_MODE:
         paper = paper_scale()

@@ -1,11 +1,41 @@
-"""Setuptools shim.
+"""Setuptools configuration.
 
-Kept so that ``pip install -e .`` works on minimal environments that lack the
-``wheel`` package (PEP 660 editable installs need it; the legacy
-``setup.py develop`` path does not).  All project metadata lives in
-``pyproject.toml``.
+Kept as ``setup.py`` (rather than PEP 621 metadata) so that
+``pip install -e .`` works on minimal environments that lack the ``wheel``
+package (PEP 660 editable installs need it; the legacy ``setup.py develop``
+path does not).  Tool configuration (ruff) lives in ``pyproject.toml``.
+
+The dependency extras below are the single source of truth for every CI
+job: ``pip install -e .[test]`` replaces the hand-rolled per-job package
+lists the workflows used to carry.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-essat",
+    version="0.4.0",
+    description=(
+        "Reproduction of ESSAT (Chipara, Lu, Roman; ICDCS 2005): "
+        "energy-synchronized communication for sensor networks"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "networkx",
+    ],
+    extras_require={
+        # Everything the tier-1 suite and the benchmark harness import.
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "hypothesis",
+            "scipy",
+        ],
+        # Lint tooling used by the CI `lint` job.
+        "lint": [
+            "ruff",
+        ],
+    },
+)

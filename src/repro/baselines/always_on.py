@@ -7,7 +7,7 @@ latency, useful as a sanity reference for the other protocols.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 from ..net.node import Network
 from ..query.query import QuerySpec

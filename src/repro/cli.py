@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from .experiments.config import ScenarioConfig, paper_scale, reduced_scale, smoke_scale
 from .experiments.figures import (
     delivery_ratio_under_churn,
+    delivery_ratio_vs_shadowing,
     dts_overhead_vs_rate,
     duty_cycle_vs_density,
     figure2_deadline_sweep,
@@ -121,6 +122,12 @@ FIGURES: Dict[str, tuple] = {
     "churn": (
         "delivery ratio under scheduled node failures (scenario registry, beyond the paper)",
         lambda scenario, runs, **orch: delivery_ratio_under_churn(
+            scenario, num_runs=runs, **orch
+        ),
+    ),
+    "shadowing": (
+        "delivery ratio vs shadowing sigma (propagation layer, beyond the paper)",
+        lambda scenario, runs, **orch: delivery_ratio_vs_shadowing(
             scenario, num_runs=runs, **orch
         ),
     ),

@@ -13,7 +13,7 @@ suite-level API the experiment harness uses:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Type
+from typing import Dict, Iterable, List, Optional, Type
 
 from ..net.node import Network, Node
 from ..query.query import QuerySpec

@@ -25,6 +25,9 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from ..mac.base import MacConfig
+from ..net.loss import LossSpec
+from ..net.mobility import MobilitySpec
+from ..net.propagation import PropagationSpec
 from ..net.topology import FailureSchedule, TopologySpec
 from ..radio.energy import IDEAL, PowerProfile
 from ..sim.units import mbps
@@ -64,6 +67,13 @@ class ScenarioConfig:
     topology: TopologySpec = field(default_factory=TopologySpec)
     #: Scheduled permanent node failures (churn); ``None`` = no failures.
     failure_schedule: Optional[FailureSchedule] = None
+    #: Propagation/reception model (unit disk, log-distance shadowing, SINR
+    #: capture); the paper's setup is the unit-disk default.
+    propagation: PropagationSpec = field(default_factory=PropagationSpec)
+    #: Injected packet loss (none, uniform, Gilbert-Elliott bursty links).
+    loss: LossSpec = field(default_factory=LossSpec)
+    #: Node mobility (random waypoint); ``None`` = the paper's static nodes.
+    mobility: Optional[MobilitySpec] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 1:

@@ -41,7 +41,6 @@ from .scenarios import (
     DUTY_CYCLE_PROTOCOLS,
     ESSAT_ONLY,
     LATENCY_PROTOCOLS,
-    MULTI_QUERY_BASE_RATE,
     base_rates,
     deadline_sweep_workload,
     deadlines,
@@ -542,6 +541,36 @@ def delivery_ratio_under_churn(
         "Churn sweep",
         "Delivery ratio vs failed-node fraction (failures at 25-75% of the run)",
         "churn",
+        lambda metrics: metrics.delivery_ratio,
+        "delivery ratio",
+        protocols,
+        scenario,
+        num_runs,
+        jobs,
+        store,
+        progress,
+    )
+
+
+def delivery_ratio_vs_shadowing(
+    scenario: Optional[ScenarioConfig] = None,
+    protocols: Sequence[str] = ("DTS-SS", "PSM"),
+    num_runs: Optional[int] = None,
+    jobs: int = 1,
+    store: StoreLike = None,
+    progress: ProgressLike = None,
+) -> FigureResult:
+    """Delivery ratio as log-normal shadowing deepens (propagation layer).
+
+    Not a figure of the paper: the paper's channel is a unit disk.  The
+    ``shadowed`` family sweeps the shadowing sigma from 0 dB (the unit-disk
+    anchor) upward, so this figure shows how each protocol's delivery
+    degrades as range-edge links fade out and the effective topology thins.
+    """
+    return _family_sweep(
+        "Shadowing sweep",
+        "Delivery ratio vs shadowing sigma (log-distance path loss)",
+        "shadowed",
         lambda metrics: metrics.delivery_ratio,
         "delivery ratio",
         protocols,

@@ -22,7 +22,10 @@ from ..baselines.psm import PsmSuite
 from ..baselines.span import SpanSuite
 from ..baselines.sync import SyncSuite
 from ..core.protocol import EssatProtocolSuite
+from ..net.loss import build_loss_from_spec
+from ..net.mobility import install_mobility
 from ..net.node import Network, build_network
+from ..net.propagation import build_propagation_from_spec
 from ..net.topology import (
     FailureSchedule,
     Topology,
@@ -240,6 +243,8 @@ def run_single(
         topology,
         power_profile=scenario.power_profile,
         mac_config=scenario.mac_config,
+        loss_model=build_loss_from_spec(scenario.loss, seed=seed),
+        propagation=build_propagation_from_spec(scenario.propagation, seed=seed),
     )
     tree = build_routing_tree(
         topology,
@@ -258,6 +263,8 @@ def run_single(
     suite.register_queries(queries)
     if scenario.failure_schedule is not None and not scenario.failure_schedule.is_empty:
         install_failure_schedule(sim, network, tree, scenario.failure_schedule, suite=suite)
+    if scenario.mobility is not None:
+        install_mobility(scenario.mobility, sim, topology, scenario.duration)
     sim.run(until=scenario.duration)
     network.finalize()
     metrics = collect_metrics(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from ..net.packet import Packet
 from ..sim.units import mbps, us

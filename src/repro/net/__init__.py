@@ -1,9 +1,25 @@
-"""Network substrate: packets, topology, wireless channel, nodes."""
+"""Network substrate: packets, topology, propagation, wireless channel, nodes."""
 
 from .addresses import BROADCAST, is_broadcast, validate_node_id
 from .channel import ChannelStats, Transmission, WirelessChannel
-from .loss import NoLoss, PerLinkLoss, ScriptedLoss, UniformLoss
+from .loss import (
+    GilbertElliottLoss,
+    LossSpec,
+    NoLoss,
+    PerLinkLoss,
+    ScriptedLoss,
+    UniformLoss,
+    build_loss_from_spec,
+)
+from .mobility import MobilitySpec, RandomWaypointMobility, install_mobility
 from .node import Network, Node, build_network
+from .propagation import (
+    LogDistanceShadowing,
+    PropagationSpec,
+    SinrCapture,
+    UnitDiskPropagation,
+    build_propagation_from_spec,
+)
 from .packet import (
     ACK_BYTES,
     CONTROL_BYTES,
@@ -32,6 +48,17 @@ __all__ = [
     "UniformLoss",
     "PerLinkLoss",
     "ScriptedLoss",
+    "GilbertElliottLoss",
+    "LossSpec",
+    "build_loss_from_spec",
+    "MobilitySpec",
+    "RandomWaypointMobility",
+    "install_mobility",
+    "PropagationSpec",
+    "UnitDiskPropagation",
+    "LogDistanceShadowing",
+    "SinrCapture",
+    "build_propagation_from_spec",
     "Network",
     "Node",
     "build_network",

@@ -15,9 +15,10 @@ depends on:
 * **carrier sense** -- the MAC's CSMA behaviour queries
   :meth:`WirelessChannel.is_busy`.
 
-Propagation delay over <= 125 m is below a microsecond and is ignored, as is
-capture; both are standard simplifications that do not affect the protocol
-comparison.
+Propagation delay over <= 125 m is below a microsecond and is ignored (a
+standard simplification that does not affect the protocol comparison).
+Under the default unit-disk model capture is ignored too, as the paper
+does; the ``sinr`` propagation strategy below opts into SINR-based capture.
 
 Hot-path design
 ---------------
@@ -29,7 +30,18 @@ in-range node (snapshotted on the transmission as ``covered``), and removed
 when it ends.  ``is_busy`` is then a dict lookup and ``time_until_idle`` a
 max over the handful of frames audible at one node.  Per-sender neighbour
 tuples are cached and invalidated via the topology's ``version`` counter so
-node removal (failure injection) stays correct.
+node removal (failure injection) and mobility stay correct.
+
+Propagation strategies
+----------------------
+Reception physics are delegated to a :mod:`repro.net.propagation` model.
+The default :class:`~repro.net.propagation.UnitDiskPropagation` keeps the
+original inlined loop (guarded by ``self._unit_disk``, mirroring the
+``_lossless`` fast flag), so the paper's channel is bit-for-bit unchanged
+and pays nothing for the indirection.  Non-default models
+(log-distance shadowing, SINR capture) filter the audible set per link
+budget and resolve collisions per SINR over this same per-node
+transmission index.
 """
 
 from __future__ import annotations
@@ -43,6 +55,7 @@ from ..radio.radio import Radio
 from ..radio.states import RadioState
 from .loss import LossModel, NoLoss
 from .packet import Packet
+from .propagation import CAPTURE_NEW, KEEP_LOCKED, UnitDiskPropagation
 from .topology import Topology
 
 #: Signature of the callback a MAC registers to receive frames:
@@ -113,6 +126,7 @@ class WirelessChannel:
         sim: Simulator,
         topology: Topology,
         loss_model: Optional[LossModel] = None,
+        propagation=None,
     ) -> None:
         self._sim = sim
         self._topology = topology
@@ -121,6 +135,12 @@ class WirelessChannel:
         #: loop skip a per-receiver call (NoLoss draws no randomness, so the
         #: skip is observationally identical).
         self._lossless = isinstance(self._loss_model, NoLoss)
+        #: The propagation/reception strategy (see :mod:`repro.net.propagation`).
+        self._model = propagation if propagation is not None else UnitDiskPropagation()
+        self._model.bind(topology)
+        #: True for the default model; ``transmit`` then runs the original
+        #: inlined unit-disk loop (bit-for-bit the pre-strategy channel).
+        self._unit_disk = bool(self._model.is_unit_disk)
         #: node id -> ``(radio, delivery_callback)``; one dict so the
         #: per-receiver hot loops resolve both with a single lookup.
         self._attached: Dict[int, Tuple[Radio, DeliveryCallback]] = {}
@@ -153,6 +173,11 @@ class WirelessChannel:
     def topology(self) -> Topology:
         """The static topology used for connectivity decisions."""
         return self._topology
+
+    @property
+    def propagation(self):
+        """The propagation/reception model frames are evaluated under."""
+        return self._model
 
     def register(self, node_id: int, radio: Radio, deliver: DeliveryCallback) -> None:
         """Attach a node's radio and MAC delivery callback to the channel."""
@@ -291,39 +316,90 @@ class WirelessChannel:
         idle = _IDLE
         off = _OFF
         rx = _RX
-        for neighbor in neighbors:
-            # The carrier-sense index hears the energy whatever the
-            # neighbour's radio (or registration) state.
-            covering[neighbor].append(transmission)
+        if self._unit_disk:
+            for neighbor in neighbors:
+                # The carrier-sense index hears the energy whatever the
+                # neighbour's radio (or registration) state.
+                covering[neighbor].append(transmission)
 
-            neighbor_attached = attached.get(neighbor)
-            if neighbor_attached is None:
-                continue
-            neighbor_radio = neighbor_attached[0]
-            locked_tx = neighbor_radio._rx_lock
-            if locked_tx is not None:
-                # The neighbour is already receiving another frame: that frame
-                # is corrupted and this one is not receivable there either.
-                locked_tx.receivers[neighbor] = False
-                collisions += 1
-                if tracing:
-                    trace.emit(
-                        now, "channel.collision", node=neighbor, packet_id=packet.packet_id
+                neighbor_attached = attached.get(neighbor)
+                if neighbor_attached is None:
+                    continue
+                neighbor_radio = neighbor_attached[0]
+                locked_tx = neighbor_radio._rx_lock
+                if locked_tx is not None:
+                    # The neighbour is already receiving another frame: that frame
+                    # is corrupted and this one is not receivable there either.
+                    locked_tx.receivers[neighbor] = False
+                    collisions += 1
+                    if tracing:
+                        trace.emit(
+                            now, "channel.collision", node=neighbor, packet_id=packet.packet_id
+                        )
+                    continue
+                # Inlined Radio.can_receive / Radio.is_asleep: this loop runs for
+                # every in-range node of every frame on the air.
+                state = neighbor_radio._state
+                if state is not idle:
+                    # Asleep, transitioning, or itself transmitting.
+                    if state is off:
+                        missed_asleep += 1
+                    continue
+                # The IDLE check above is exactly Radio.start_rx's precondition,
+                # so enter RX without re-validating.
+                neighbor_radio._set_state(rx)
+                receivers[neighbor] = True
+                neighbor_radio._rx_lock = transmission
+        else:
+            # Model-aware loop: the audible set is the link-budget-filtered
+            # subset of the disk neighbours (a frame below sensitivity is
+            # neither receivable nor carrier-sensed nor interference), and a
+            # locked receiver asks the model to resolve the collision over
+            # the frames audible there (the per-node transmission index).
+            model = self._model
+            neighbors = model.audible(sender, neighbors)
+            for neighbor in neighbors:
+                audible_here = covering[neighbor]
+                audible_here.append(transmission)
+
+                neighbor_attached = attached.get(neighbor)
+                if neighbor_attached is None:
+                    continue
+                neighbor_radio = neighbor_attached[0]
+                locked_tx = neighbor_radio._rx_lock
+                if locked_tx is not None:
+                    outcome = model.resolve_collision(
+                        neighbor, locked_tx, transmission, audible_here
                     )
-                continue
-            # Inlined Radio.can_receive / Radio.is_asleep: this loop runs for
-            # every in-range node of every frame on the air.
-            state = neighbor_radio._state
-            if state is not idle:
-                # Asleep, transitioning, or itself transmitting.
-                if state is off:
-                    missed_asleep += 1
-                continue
-            # The IDLE check above is exactly Radio.start_rx's precondition,
-            # so enter RX without re-validating.
-            neighbor_radio._set_state(rx)
-            receivers[neighbor] = True
-            neighbor_radio._rx_lock = transmission
+                    if outcome is KEEP_LOCKED:
+                        # The locked frame captured: the new frame is simply
+                        # not receivable here (no corruption, no state change).
+                        continue
+                    locked_tx.receivers[neighbor] = False
+                    collisions += 1
+                    if tracing:
+                        trace.emit(
+                            now, "channel.collision", node=neighbor, packet_id=packet.packet_id
+                        )
+                    if outcome is CAPTURE_NEW:
+                        # The new frame captured the receiver mid-collision:
+                        # the radio (already in RX) re-locks onto it.
+                        receivers[neighbor] = True
+                        neighbor_radio._rx_lock = transmission
+                    continue
+                state = neighbor_radio._state
+                if state is not idle:
+                    if state is off:
+                        missed_asleep += 1
+                    continue
+                if not model.can_lock(neighbor, transmission, audible_here):
+                    # Drowned by frames already on the air: the idle
+                    # receiver never acquires the frame (it stays idle; the
+                    # frame still interferes via the covering index).
+                    continue
+                neighbor_radio._set_state(rx)
+                receivers[neighbor] = True
+                neighbor_radio._rx_lock = transmission
         if collisions:
             stats.collisions += collisions
         if missed_asleep:

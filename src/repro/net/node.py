@@ -120,16 +120,21 @@ def build_network(
     power_profile: PowerProfile,
     mac_config: Optional["MacConfig"] = None,
     loss_model: Optional[Any] = None,
+    propagation: Optional[Any] = None,
     start_awake: bool = True,
 ) -> Network:
-    """Instantiate radios, MACs, and the shared channel for ``topology``."""
+    """Instantiate radios, MACs, and the shared channel for ``topology``.
+
+    ``propagation`` is an optional :mod:`repro.net.propagation` model; the
+    default is the paper's unit disk.
+    """
     # Imported here rather than at module level: the MAC modules import
     # packet definitions from this package, so a module-level import would
     # be circular.
     from ..mac.base import MacConfig
     from ..mac.csma import CsmaMac
 
-    channel = WirelessChannel(sim, topology, loss_model=loss_model)
+    channel = WirelessChannel(sim, topology, loss_model=loss_model, propagation=propagation)
     mac_config = mac_config if mac_config is not None else MacConfig()
     nodes: Dict[int, Node] = {}
     for node_id in topology.node_ids:

@@ -22,11 +22,12 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
 from ..sim.rng import RandomStreams
+from .spec import KindParamsSpec
 
 
 @dataclass(frozen=True)
@@ -307,7 +308,7 @@ class Topology:
         return frozenset(nx.node_connected_component(graph, node_id))
 
     # ------------------------------------------------------------------ #
-    # mutation (used by failure-injection experiments)
+    # mutation (used by failure-injection and mobility experiments)
     # ------------------------------------------------------------------ #
 
     def remove_node(self, node_id: int) -> None:
@@ -316,6 +317,21 @@ class Topology:
             raise KeyError(f"unknown node {node_id}")
         del self.positions[node_id]
         self._rebuild_neighbors()
+
+    def update_positions(self, new_positions: Dict[int, Position]) -> None:
+        """Move nodes (mobility) and refresh neighbour sets once.
+
+        Applies every move in one batch so a mobility tick costs a single
+        O(n^2) neighbour rebuild (and a single ``version`` bump, which is
+        what invalidates the channel's and propagation models' caches).
+        """
+        positions = self.positions
+        for node_id, position in new_positions.items():
+            if node_id not in positions:
+                raise KeyError(f"unknown node {node_id}")
+            positions[node_id] = position
+        if new_positions:
+            self._rebuild_neighbors()
 
     def _rebuild_neighbors(self) -> None:
         self._version += 1
@@ -334,39 +350,22 @@ class Topology:
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
-class TopologySpec:
+class TopologySpec(KindParamsSpec):
     """A serializable recipe for building a topology from scenario parameters.
 
     ``kind`` names the generator; ``params`` is a sorted tuple of
     ``(name, value)`` pairs so the spec hashes stably into the orchestrator's
-    job digests.  Node count, area, and communication range come from the
-    surrounding :class:`~repro.experiments.config.ScenarioConfig` — the spec
-    only carries what is specific to the generator (e.g. cluster count).
+    job digests (see :class:`~repro.net.spec.KindParamsSpec`).  Node count,
+    area, and communication range come from the surrounding
+    :class:`~repro.experiments.config.ScenarioConfig` — the spec only
+    carries what is specific to the generator (e.g. cluster count).
     """
 
     kind: str = "uniform"
-    params: Tuple[Tuple[str, float], ...] = ()
 
     #: Generators :func:`build_topology_from_spec` can dispatch to.
     KINDS = ("uniform", "clustered", "corridor")
-
-    def __post_init__(self) -> None:
-        if self.kind not in self.KINDS:
-            raise ValueError(f"unknown topology kind {self.kind!r}; expected one of {self.KINDS}")
-        normalized = tuple(sorted((str(k), float(v)) for k, v in self.params))
-        object.__setattr__(self, "params", normalized)
-
-    @classmethod
-    def make(cls, kind: str, **params: float) -> "TopologySpec":
-        """Build a spec from keyword parameters (``TopologySpec.make("clustered", clusters=4)``)."""
-        return cls(kind=kind, params=tuple(params.items()))
-
-    def param(self, name: str, default: float) -> float:
-        """The value of parameter ``name``, or ``default`` when unset."""
-        for key, value in self.params:
-            if key == name:
-                return value
-        return default
+    KIND_NOUN = "topology"
 
 
 @dataclass(frozen=True)

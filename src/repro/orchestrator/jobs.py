@@ -26,6 +26,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..experiments.config import ScenarioConfig
 from ..experiments.metrics import RunMetrics
 from ..mac.base import MacConfig
+from ..net.loss import LossSpec
+from ..net.mobility import MobilitySpec
+from ..net.propagation import PropagationSpec
 from ..net.topology import FailureSchedule, TopologySpec
 from ..query.aggregation import AggregationFunction
 from ..query.query import QuerySpec, SourceSelection
@@ -37,7 +40,9 @@ from ..sim.rng import RandomStreams
 #: this so stale store entries are never mistaken for current ones.
 #: v2: scenarios gained a topology spec and a failure schedule, and the
 #: delivery-ratio metric stopped counting duplicate root deliveries.
-SCHEMA_VERSION = 2
+#: v3: scenarios gained propagation, loss, and mobility specs (the
+#: pluggable propagation layer).
+SCHEMA_VERSION = 3
 
 
 # ---------------------------------------------------------------------------
@@ -81,16 +86,54 @@ def _mac_config_from_dict(data: Dict[str, Any]) -> MacConfig:
     return MacConfig(**data)
 
 
+def _kind_params_to_dict(spec) -> Dict[str, Any]:
+    """JSON-safe representation of any ``kind + params`` spec."""
+    return {"kind": spec.kind, "params": [list(pair) for pair in spec.params]}
+
+
+def _kind_params_from_dict(cls, data: Dict[str, Any]):
+    """Inverse of :func:`_kind_params_to_dict` for the spec class ``cls``."""
+    return cls(kind=data["kind"], params=tuple((k, v) for k, v in data["params"]))
+
+
 def topology_spec_to_dict(spec: TopologySpec) -> Dict[str, Any]:
     """JSON-safe representation of a :class:`TopologySpec`."""
-    return {"kind": spec.kind, "params": [list(pair) for pair in spec.params]}
+    return _kind_params_to_dict(spec)
 
 
 def topology_spec_from_dict(data: Dict[str, Any]) -> TopologySpec:
     """Inverse of :func:`topology_spec_to_dict`."""
-    return TopologySpec(
-        kind=data["kind"], params=tuple((k, v) for k, v in data["params"])
-    )
+    return _kind_params_from_dict(TopologySpec, data)
+
+
+def propagation_spec_to_dict(spec: PropagationSpec) -> Dict[str, Any]:
+    """JSON-safe representation of a :class:`PropagationSpec`."""
+    return _kind_params_to_dict(spec)
+
+
+def propagation_spec_from_dict(data: Dict[str, Any]) -> PropagationSpec:
+    """Inverse of :func:`propagation_spec_to_dict`."""
+    return _kind_params_from_dict(PropagationSpec, data)
+
+
+def loss_spec_to_dict(spec: LossSpec) -> Dict[str, Any]:
+    """JSON-safe representation of a :class:`LossSpec`."""
+    return _kind_params_to_dict(spec)
+
+
+def loss_spec_from_dict(data: Dict[str, Any]) -> LossSpec:
+    """Inverse of :func:`loss_spec_to_dict`."""
+    return _kind_params_from_dict(LossSpec, data)
+
+
+def mobility_spec_to_dict(spec: Optional[MobilitySpec]) -> Optional[Dict[str, Any]]:
+    """JSON-safe representation of a :class:`MobilitySpec` (or ``None``)."""
+    return None if spec is None else _kind_params_to_dict(spec)
+
+
+def mobility_spec_from_dict(data: Optional[Dict[str, Any]]) -> Optional[MobilitySpec]:
+    """Inverse of :func:`mobility_spec_to_dict`."""
+    return None if data is None else _kind_params_from_dict(MobilitySpec, data)
 
 
 def failure_schedule_to_dict(schedule: Optional[FailureSchedule]) -> Optional[Dict[str, Any]]:
@@ -131,6 +174,9 @@ def scenario_to_dict(scenario: ScenarioConfig) -> Dict[str, Any]:
         "measure_from": scenario.measure_from,
         "topology": topology_spec_to_dict(scenario.topology),
         "failure_schedule": failure_schedule_to_dict(scenario.failure_schedule),
+        "propagation": propagation_spec_to_dict(scenario.propagation),
+        "loss": loss_spec_to_dict(scenario.loss),
+        "mobility": mobility_spec_to_dict(scenario.mobility),
     }
 
 
@@ -150,6 +196,9 @@ def scenario_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
         measure_from=data["measure_from"],
         topology=topology_spec_from_dict(data["topology"]),
         failure_schedule=failure_schedule_from_dict(data["failure_schedule"]),
+        propagation=propagation_spec_from_dict(data["propagation"]),
+        loss=loss_spec_from_dict(data["loss"]),
+        mobility=mobility_spec_from_dict(data["mobility"]),
     )
 
 

@@ -9,7 +9,7 @@ deadline ``D`` (defaulting to the period, as in the paper's experiments).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Optional, Union
 
 from .aggregation import AggregationFunction

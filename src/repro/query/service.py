@@ -20,7 +20,7 @@ what the SYNC/PSM/SPAN baselines run on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Set, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Set
 
 from ..net.node import Node
 from ..net.packet import DataReportPacket, Packet

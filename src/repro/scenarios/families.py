@@ -9,7 +9,18 @@ rest open evaluation axes the paper never explored:
 * ``size`` -- area and node count grown together at fixed density,
 * ``radio-profiles`` -- the paper's referenced radios (ideal, MICA2
   typical/worst, ZebraNet) swept by wake-up latency,
-* ``churn`` -- scheduled mid-run node failures swept by failure fraction.
+* ``churn`` -- scheduled mid-run node failures swept by failure fraction,
+
+and -- via the pluggable propagation layer -- channel realism beyond the
+paper's unit disk:
+
+* ``shadowed`` -- log-distance path loss with log-normal shadowing, swept
+  by the shadowing sigma (link dropout grows with sigma),
+* ``capture`` -- SINR-based reception, swept by the capture threshold
+  (lower threshold = more frames survive collisions),
+* ``bursty`` -- Gilbert-Elliott bursty/asymmetric link loss, swept by the
+  bad-state drop probability,
+* ``mobile`` -- random-waypoint node mobility, swept by node speed.
 
 Every builder derives its variants from the base scale it is handed, so the
 same family definition serves smoke tests and paper-scale studies.
@@ -21,6 +32,9 @@ from typing import List
 
 from ..experiments.config import ScenarioConfig, paper_scale, reduced_scale, smoke_scale
 from ..experiments.scenarios import rate_sweep_workload
+from ..net.loss import LossSpec
+from ..net.mobility import MobilitySpec
+from ..net.propagation import PropagationSpec
 from ..net.topology import FailureSchedule, TopologySpec
 from ..query.workload import WorkloadSpec
 from ..radio.energy import IDEAL, MICA2_TYPICAL, MICA2_WORST, ZEBRANET
@@ -46,6 +60,19 @@ CHURN_FRACTIONS = (0.0, 0.1, 0.2, 0.3)
 
 #: Radio power profiles swept by the ``radio-profiles`` family.
 RADIO_PROFILES = (IDEAL, MICA2_TYPICAL, MICA2_WORST, ZEBRANET)
+
+#: Shadowing sigmas (dB) swept by the ``shadowed`` family; 0 dB is the
+#: unit-disk anchor point every sweep can be compared against.
+SHADOWING_SIGMAS_DB = (0.0, 2.0, 4.0, 6.0)
+
+#: Capture thresholds (dB) swept by the ``capture`` family.
+CAPTURE_THRESHOLDS_DB = (1.0, 6.0, 10.0)
+
+#: Bad-state drop probabilities swept by the ``bursty`` family.
+BURSTY_BAD_LOSS = (0.2, 0.5, 0.8)
+
+#: Node speeds (m/s) swept by the ``mobile`` family.
+MOBILE_SPEEDS_MPS = (0.5, 1.0, 2.0)
 
 
 def _workload() -> WorkloadSpec:
@@ -202,6 +229,90 @@ def radio_profiles_family(base: ScenarioConfig) -> List[ScenarioVariant]:
                 label=profile.name,
                 x=profile.t_off_to_on * 1000.0,
                 scenario=base.with_overrides(power_profile=profile),
+                workload=_workload(),
+            )
+        )
+    return variants
+
+
+@register_family(
+    "shadowed",
+    "log-distance path loss with log-normal shadowing; links near the "
+    "range edge fade out as sigma grows (propagation layer)",
+    x_label="sigma_db",
+)
+def shadowed_family(base: ScenarioConfig) -> List[ScenarioVariant]:
+    variants = []
+    for sigma in SHADOWING_SIGMAS_DB:
+        spec = PropagationSpec.make("shadowing", sigma_db=sigma)
+        variants.append(
+            ScenarioVariant(
+                label=f"sigma={sigma:g}dB",
+                x=sigma,
+                scenario=base.with_overrides(propagation=spec),
+                workload=_workload(),
+            )
+        )
+    return variants
+
+
+@register_family(
+    "capture",
+    "SINR-based reception: a frame survives a collision when its SINR "
+    "clears the capture threshold (propagation layer)",
+    x_label="capture_db",
+)
+def capture_family(base: ScenarioConfig) -> List[ScenarioVariant]:
+    variants = []
+    for threshold in CAPTURE_THRESHOLDS_DB:
+        spec = PropagationSpec.make("sinr", capture_db=threshold)
+        variants.append(
+            ScenarioVariant(
+                label=f"capture={threshold:g}dB",
+                x=threshold,
+                scenario=base.with_overrides(propagation=spec),
+                workload=_workload(),
+            )
+        )
+    return variants
+
+
+@register_family(
+    "bursty",
+    "Gilbert-Elliott bursty/asymmetric link loss swept by the bad-state "
+    "drop probability (propagation layer)",
+    x_label="loss_bad",
+)
+def bursty_family(base: ScenarioConfig) -> List[ScenarioVariant]:
+    variants = []
+    for loss_bad in BURSTY_BAD_LOSS:
+        spec = LossSpec.make("gilbert-elliott", loss_bad=loss_bad)
+        variants.append(
+            ScenarioVariant(
+                label=f"bad={round(loss_bad * 100)}%",
+                x=loss_bad,
+                scenario=base.with_overrides(loss=spec),
+                workload=_workload(),
+            )
+        )
+    return variants
+
+
+@register_family(
+    "mobile",
+    "random-waypoint node mobility swept by node speed; the routing tree "
+    "is built from the initial placement (propagation layer)",
+    x_label="speed_mps",
+)
+def mobile_family(base: ScenarioConfig) -> List[ScenarioVariant]:
+    variants = []
+    for speed in MOBILE_SPEEDS_MPS:
+        spec = MobilitySpec.make(speed=speed)
+        variants.append(
+            ScenarioVariant(
+                label=f"speed={speed:g}mps",
+                x=speed,
+                scenario=base.with_overrides(mobility=spec),
                 workload=_workload(),
             )
         )

@@ -36,7 +36,8 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import TraceRecorder
 
-#: Families the ISSUE requires (plus `size`, which rides along).
+#: Families the ISSUEs require (plus `size`, which rides along).  The last
+#: four are the propagation-layer families (PR 4).
 EXPECTED_FAMILIES = {
     "paper",
     "reduced",
@@ -47,6 +48,10 @@ EXPECTED_FAMILIES = {
     "size",
     "radio-profiles",
     "churn",
+    "shadowed",
+    "capture",
+    "bursty",
+    "mobile",
 }
 
 
