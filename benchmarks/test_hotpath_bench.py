@@ -1,12 +1,12 @@
 """Benchmark: simulation hot-path throughput (events/sec), ``BENCH_hotpath.json``.
 
-Measures the overhauled engine + channel hot path three ways and records
+Measures the overhauled engine + channel + protocol hot path and records
 everything into ``BENCH_hotpath.json`` at the repository root (see
 ``conftest.record_hotpath_bench``):
 
 1. **Simulator kernel** -- a pure engine event storm (self-rescheduling
    callbacks plus cancelled timers, no model code).  This isolates exactly
-   the layers the hot-path overhaul rewrote: event allocation, heap
+   the layers the PR 3 hot-path overhaul rewrote: event allocation, heap
    ordering, lazy deletion, dispatch.
 2. **Paper-scale uniform scenario** -- one full replication per protocol
    (DTS-SS and the contention-heavy PSM baseline), events/sec over the
@@ -16,18 +16,33 @@ everything into ``BENCH_hotpath.json`` at the repository root (see
    registry's highest node density, serial, plus a ``--jobs``-style parallel
    sweep of the identical jobs through the orchestrator (parallel events/sec
    derives from the serial per-run event counts, which are deterministic).
+4. **Protocol-layer cells (PR 5)** -- the paper's high-query-count workload
+   (Figures 4/7: 0.2 Hz, ``queries_per_class`` at the sweep maximum of 10,
+   i.e. 30 concurrent queries) at paper scale, plus a 16-per-class stress
+   variant.  These are the cells the protocol-layer overhaul (TimingTable
+   incremental minimum, query-service collection pruning, shaper/Safe Sleep
+   dispatch) targets: their cost is dominated by per-event Safe Sleep
+   re-evaluation over many queries, not by the engine or channel.  The CI
+   smoke job runs the reduced-scale variant of the same workload.
+5. **Layer breakdown** -- a profiled reduced-scale DTS-SS replication with
+   ``sim.run`` time bucketed per layer (engine / channel+radio / MAC /
+   protocol), the machine-readable source for the README's "where the time
+   goes" table.
 
 Speedups are reported against committed pre-overhaul baselines (below).
-Those were measured on this repository's dev container at commit b64b1b1
-(best of 3), so the *ratios* are the meaningful trajectory numbers; the CI
-guard only fails when a cell regresses more than 2x below its baseline,
+The PR 3 cells were measured at commit b64b1b1 (PR 2) and the PR 5 protocol
+cells at commit f67b7e9 (PR 4), each on this repository's dev container
+(best of 2-3), so the *ratios* are the meaningful trajectory numbers; the
+CI guard only fails when a cell regresses more than 2x below its baseline,
 which absorbs ordinary machine variance.
 """
 
 from __future__ import annotations
 
+import cProfile
 import os
 import platform
+import pstats
 import time
 
 import pytest
@@ -35,7 +50,7 @@ import pytest
 from repro.experiments.config import paper_scale, default_scale
 from repro.experiments.metrics import DeliveryLog
 from repro.experiments.runner import build_protocol_suite, build_scenario_topology
-from repro.experiments.scenarios import rate_sweep_workload
+from repro.experiments.scenarios import query_count_workload, rate_sweep_workload
 from repro.net.loss import build_loss_from_spec
 from repro.net.node import build_network
 from repro.net.propagation import PropagationSpec, build_propagation_from_spec
@@ -46,15 +61,30 @@ from repro.scenarios.registry import get_family
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder
 
-#: Pre-overhaul events/sec, measured at commit b64b1b1 (PR 2) on the dev
-#: container, best of 3.  Keys match the cells recorded below.
+#: Pre-overhaul events/sec.  The PR 3 cells were measured at commit b64b1b1
+#: (PR 2, best of 3); the PR 5 protocol-layer cells at commit f67b7e9
+#: (PR 4, best of 2) -- both on the dev container.  Keys match the cells
+#: recorded below.
 PRE_PR_BASELINES = {
     "kernel": 198_387,
     "paper_uniform/DTS-SS": 86_155,
     "paper_uniform/PSM": 48_650,
     "densest_density/DTS-SS": 94_326,
     "densest_density/PSM": 39_898,
+    # PR 5 protocol-layer cells (paper workload: 0.2 Hz, 10 queries/class).
+    "paper_queries/DTS-SS": 154_425,
+    "paper_queries/PSM": 137_535,
+    # 16 queries/class: the table-scan cost the PR 5 overhaul removes grows
+    # with the query count, so the stress cell shows the trend's slope.
+    "paper_queries_stress/DTS-SS": 122_487,
+    "reduced_queries/DTS-SS": 169_271,
+    "reduced_queries/PSM": 151_240,
 }
+
+#: Queries-per-class of the protocol-layer cells: the maximum of the paper's
+#: Figure 4/7 sweep, and the stress variant beyond it.
+PAPER_QUERIES_PER_CLASS = 10
+STRESS_QUERIES_PER_CLASS = 16
 
 #: A cell fails the benchmark only if it regresses more than this factor
 #: below its committed baseline (machine variance headroom; the committed
@@ -96,11 +126,11 @@ def _kernel_storm() -> dict:
     }
 
 
-def _run_cell(scenario, workload, protocol: str) -> dict:
+def _run_cell(scenario, workload, protocol: str, reps: int = REPS) -> dict:
     """One full replication; events/sec over the ``sim.run`` time only."""
     best = None
     events = 0
-    for _ in range(REPS):
+    for _ in range(reps):
         queries = RunJob(
             scenario=scenario, protocol=protocol, workload=workload, seed=scenario.seed
         ).resolve_queries()
@@ -167,6 +197,82 @@ def _with_speedup(key: str, cell: dict) -> dict:
     return cell
 
 
+#: Module-path prefixes -> layer names for the profiled breakdown.  C-level
+#: heap/builtin frames carry no filename; they are bucketed as "stdlib".
+_LAYER_PREFIXES = (
+    ("repro/sim/", "engine"),
+    ("repro/net/", "channel"),
+    ("repro/radio/", "radio"),
+    ("repro/mac/", "mac"),
+    ("repro/core/", "protocol"),
+    ("repro/query/", "protocol"),
+)
+
+
+def _layer_breakdown(scenario, workload, protocol: str = "DTS-SS") -> dict:
+    """Profile one replication; bucket ``sim.run`` self-time per layer.
+
+    The source for the README's "where the time goes" table: fractions of
+    profiled self-time spent in the engine, the channel+radio, the MAC and
+    the protocol layer (shapers, Safe Sleep, timing table, query service).
+    """
+    queries = RunJob(
+        scenario=scenario, protocol=protocol, workload=workload, seed=scenario.seed
+    ).resolve_queries()
+    sim = Simulator(seed=scenario.seed, trace=TraceRecorder(enabled=False))
+    topology = build_scenario_topology(scenario, scenario.seed)
+    network = build_network(
+        sim,
+        topology,
+        power_profile=scenario.power_profile,
+        mac_config=scenario.mac_config,
+        loss_model=build_loss_from_spec(scenario.loss, seed=scenario.seed),
+        propagation=build_propagation_from_spec(scenario.propagation, seed=scenario.seed),
+    )
+    tree = build_routing_tree(
+        topology,
+        root=topology.center_node(),
+        max_distance_from_root=scenario.max_distance_from_root,
+    )
+    suite = build_protocol_suite(
+        protocol,
+        sim,
+        network,
+        tree,
+        on_root_delivery=DeliveryLog(),
+        break_even_time=scenario.break_even_time,
+    )
+    suite.register_queries(queries)
+    profile = cProfile.Profile()
+    profile.enable()
+    sim.run(until=scenario.duration)
+    profile.disable()
+
+    buckets = {
+        "engine": 0.0, "channel": 0.0, "radio": 0.0, "mac": 0.0, "protocol": 0.0, "stdlib": 0.0
+    }
+    total = 0.0
+    for (filename, _lineno, _name), (_cc, _nc, tottime, _ct, _callers) in (
+        pstats.Stats(profile).stats.items()
+    ):
+        total += tottime
+        path = filename.replace("\\", "/")
+        for prefix, layer in _LAYER_PREFIXES:
+            if prefix in path:
+                buckets[layer] += tottime
+                break
+        else:
+            buckets["stdlib"] += tottime
+    if total <= 0:
+        return {"protocol": protocol, "fractions": {}}
+    return {
+        "protocol": protocol,
+        "events": sim.processed_events,
+        "profiled_seconds": round(total, 3),
+        "fractions": {layer: round(seconds / total, 4) for layer, seconds in buckets.items()},
+    }
+
+
 def test_hotpath_throughput(hotpath_bench_recorder) -> None:
     results: dict = {
         "host": {
@@ -226,6 +332,26 @@ def test_hotpath_throughput(hotpath_bench_recorder) -> None:
         ),
     }
 
+    # Protocol-layer cells (PR 5): the paper's Figure 4/7 multi-query
+    # workload, whose per-event cost is dominated by the shaper / timing
+    # table / Safe Sleep machinery rather than the engine or channel.  The
+    # reduced-scale variant runs in the CI smoke job (same workload, smaller
+    # network) under the same regression-floor policy as every other cell.
+    queries_workload = query_count_workload(PAPER_QUERIES_PER_CLASS)
+    reduced_query_cells = {}
+    for protocol in PROTOCOLS:
+        cell = _run_cell(reduced, queries_workload, protocol)
+        reduced_query_cells[protocol] = _with_speedup(f"reduced_queries/{protocol}", cell)
+    reduced_query_cells["workload"] = {
+        "base_rate_hz": 0.2,
+        "queries_per_class": PAPER_QUERIES_PER_CLASS,
+    }
+    results["reduced_queries"] = reduced_query_cells
+
+    # Where the time goes: profiled per-layer breakdown of one reduced-scale
+    # DTS-SS replication (the README table's machine-readable source).
+    results["layer_breakdown"] = _layer_breakdown(reduced, queries_workload)
+
     if not QUICK_MODE:
         paper = paper_scale()
         paper_cells = {}
@@ -240,6 +366,28 @@ def test_hotpath_throughput(hotpath_bench_recorder) -> None:
         }
         paper_cells["parallel"] = _parallel_sweep(paper, workload, paper_events_total)
         results["paper_uniform"] = paper_cells
+
+        # Best of 3 for the acceptance-gate cells: the protocol-layer
+        # speedup claim rides on them, and single reps on a shared host
+        # wobble by ~10%.
+        paper_query_cells = {}
+        for protocol in PROTOCOLS:
+            cell = _run_cell(paper, queries_workload, protocol, reps=3)
+            paper_query_cells[protocol] = _with_speedup(f"paper_queries/{protocol}", cell)
+        paper_query_cells["workload"] = {
+            "base_rate_hz": 0.2,
+            "queries_per_class": PAPER_QUERIES_PER_CLASS,
+        }
+        results["paper_queries"] = paper_query_cells
+
+        stress = _run_cell(paper, query_count_workload(STRESS_QUERIES_PER_CLASS), "DTS-SS", reps=3)
+        results["paper_queries_stress"] = {
+            "DTS-SS": _with_speedup("paper_queries_stress/DTS-SS", stress),
+            "workload": {
+                "base_rate_hz": 0.2,
+                "queries_per_class": STRESS_QUERIES_PER_CLASS,
+            },
+        }
 
     hotpath_bench_recorder(results)
 

@@ -47,7 +47,7 @@ _TIME_EPSILON = 1e-9
 PHASE_UPDATE_BITS = 32
 
 
-@dataclass
+@dataclass(slots=True)
 class _DtsQueryState:
     """DTS-specific per-query state."""
 
@@ -57,18 +57,32 @@ class _DtsQueryState:
     expected_receive: Dict[int, float] = field(default_factory=dict)
     #: Per-child last sequence number seen (for loss detection).
     last_sequence: Dict[int, int] = field(default_factory=dict)
+    #: child -> time an unanswered phase request was sent.  One
+    #: resynchronisation costs one request: while the child's answer is in
+    #: flight (possibly delayed by MAC retries), further detected gaps must
+    #: not issue -- or count the overhead of -- duplicate requests.  The
+    #: entry expires after one query period (see ``_request_phase_update``)
+    #: so a request or answer lost on the air does not disable
+    #: resynchronisation for good: the next gap after the expiry re-requests
+    #: (and is counted again -- it is a genuine new control transmission).
+    requested: Dict[int, float] = field(default_factory=dict)
     #: Whether the next outgoing report must carry a phase update regardless
     #: of whether a phase shift occurred (after a request, or to introduce
     #: ourselves to a new parent).
     force_phase_update: bool = False
     #: Phase update value decided at submission time, applied on completion.
     pending_expected_send: Optional[float] = None
+    #: The shaper-generic per-query state, referenced directly so the hot
+    #: per-report methods resolve one dict lookup instead of two.
+    base: Optional[_ShaperQueryState] = None
 
 
 class DynamicTrafficShaper(TrafficShaper):
     """The DTS traffic shaper."""
 
     name = "DTS"
+
+    __slots__ = ("timeout_constant", "_dts")
 
     def __init__(self, *args, timeout_constant: float = 0.1, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -84,7 +98,7 @@ class DynamicTrafficShaper(TrafficShaper):
     def _init_query(self, state: _ShaperQueryState) -> None:
         query_id = state.spec.query_id
         phi = state.spec.start_time
-        dts = _DtsQueryState(expected_send=phi)
+        dts = _DtsQueryState(expected_send=phi, base=state)
         for child in state.children:
             dts.expected_receive[child] = phi
             self._table.set_next_receive(query_id, child, phi)
@@ -93,10 +107,11 @@ class DynamicTrafficShaper(TrafficShaper):
             self._table.set_next_send(query_id, phi)
 
     def _dts_state(self, query_id: int) -> _DtsQueryState:
-        dts = self._dts.get(query_id)
-        if dts is None:
-            raise KeyError(f"query {query_id} is not registered with the DTS shaper")
-        return dts
+        # try/except keeps the registered (hot) case a bare dict lookup.
+        try:
+            return self._dts[query_id]
+        except KeyError:
+            raise KeyError(f"query {query_id} is not registered with the DTS shaper") from None
 
     # ------------------------------------------------------------------ #
     # expected-time accessors (exposed for tests and analysis)
@@ -139,8 +154,7 @@ class DynamicTrafficShaper(TrafficShaper):
     ) -> Optional[float]:
         """Decide what to piggyback on the report being submitted right now."""
         dts = self._dts_state(query_id)
-        state = self._state(query_id)
-        period = state.spec.period
+        period = dts.base.spec.period
         next_send = submit_time + period
         phase_shift = submit_time > dts.expected_send + _TIME_EPSILON
         dts.pending_expected_send = next_send
@@ -163,7 +177,7 @@ class DynamicTrafficShaper(TrafficShaper):
         success: bool,
     ) -> None:
         dts = self._dts_state(query_id)
-        state = self._state(query_id)
+        state = dts.base
         if dts.pending_expected_send is not None:
             dts.expected_send = dts.pending_expected_send
             dts.pending_expected_send = None
@@ -180,8 +194,8 @@ class DynamicTrafficShaper(TrafficShaper):
 
     def report_received(self, query_id: int, child: int, packet: DataReportPacket) -> None:
         dts = self._dts_state(query_id)
-        state = self._state(query_id)
-        self._reset_miss_count(query_id, child)
+        state = dts.base
+        state.consecutive_misses[child] = 0
 
         last = dts.last_sequence.get(child)
         gap = last is not None and packet.sequence > last + 1
@@ -189,7 +203,9 @@ class DynamicTrafficShaper(TrafficShaper):
 
         if packet.phase_update is not None:
             # Either the child phase-shifted or it is answering a phase
-            # request: its advertised next send time becomes our expectation.
+            # request: its advertised next send time becomes our expectation,
+            # and any outstanding request to this child is satisfied.
+            dts.requested.pop(child, None)
             new_expectation = packet.phase_update
         else:
             current = dts.expected_receive.get(child, state.spec.start_time)
@@ -208,12 +224,29 @@ class DynamicTrafficShaper(TrafficShaper):
     def _request_phase_update(self, query_id: int, child: int) -> None:
         if self._send_control is None:
             return
+        dts = self._dts_state(query_id)
+        now = self._sim.now
+        sent_at = dts.requested.get(child)
+        if sent_at is not None and now - sent_at < dts.base.spec.period:
+            # A request to this child is already in flight (the answer may
+            # simply be delayed by MAC retries).  Re-requesting on every
+            # subsequently detected gap would put duplicate control packets
+            # on the air and double-count their overhead; one request per
+            # resynchronisation suffices.  An entry older than one period
+            # means the request or its answer was probably lost: fall
+            # through and request again.
+            return
         request = PhaseRequestPacket(
-            src=self.node_id, dst=child, query_id=query_id, created_at=self._sim.now
+            src=self.node_id, dst=child, query_id=query_id, created_at=now
         )
+        if self._send_control(request) is False:
+            # The MAC rejected the packet outright (queue overflow): nothing
+            # was put on the air, so nothing is counted, and the next gap may
+            # try again.
+            return
+        dts.requested[child] = now
         self.stats.phase_updates_requested += 1
         self.stats.control_overhead_bytes += request.size_bytes
-        self._send_control(request)
 
     def control_received(self, packet: Packet) -> None:
         if isinstance(packet, PhaseRequestPacket):
@@ -225,6 +258,7 @@ class DynamicTrafficShaper(TrafficShaper):
         if isinstance(packet, PhaseUpdatePacket):
             dts = self._dts.get(packet.query_id)
             if dts is not None and packet.src in dts.expected_receive:
+                dts.requested.pop(packet.src, None)
                 dts.expected_receive[packet.src] = packet.next_send_time
                 self._table.set_next_receive(packet.query_id, packet.src, packet.next_send_time)
 
@@ -250,6 +284,7 @@ class DynamicTrafficShaper(TrafficShaper):
         if dts is not None:
             dts.expected_receive.pop(child, None)
             dts.last_sequence.pop(child, None)
+            dts.requested.pop(child, None)
 
     def child_added(self, query_id: int, child: int, child_rank: int = 0) -> None:
         """Expect the new child conservatively until its first report arrives."""
@@ -258,6 +293,7 @@ class DynamicTrafficShaper(TrafficShaper):
         if dts is not None:
             dts.expected_receive[child] = self._sim.now
             dts.last_sequence.pop(child, None)
+            dts.requested.pop(child, None)
 
     def parent_changed(self, query_id: Optional[int] = None) -> None:
         """Force a phase update on the next report(s) after re-parenting.

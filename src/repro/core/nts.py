@@ -22,6 +22,8 @@ class NoTrafficShaping(TrafficShaper):
 
     name = "NTS"
 
+    __slots__ = ()
+
     # ------------------------------------------------------------------ #
     # schedule arithmetic
     # ------------------------------------------------------------------ #

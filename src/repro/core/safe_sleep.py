@@ -38,6 +38,13 @@ from ..sim.engine import Simulator
 from ..sim.events import EventPriority
 from .timing import TimingTable
 
+#: Hoisted enum lookups: ``check_state`` runs after nearly every simulator
+#: event, and the attribute chains showed up at paper scale.
+_LOW = EventPriority.LOW
+_OFF = RadioState.OFF
+_TURNING_ON = RadioState.TURNING_ON
+_TURNING_OFF = RadioState.TURNING_OFF
+
 
 @dataclass(slots=True)
 class SafeSleepStats:
@@ -64,6 +71,13 @@ class SafeSleep:
         "enabled",
         "stats",
         "_check_pending",
+        "_next_wakeup",
+        "_do_check_cb",
+        "_check_state_cb",
+        "_schedule_in",
+        "_reschedule",
+        "_check_event",
+        "_mac_has_pending",
     )
 
     def __init__(
@@ -91,57 +105,88 @@ class SafeSleep:
         self.enabled = enabled
         self.stats = SafeSleepStats()
         self._check_pending = False
-        table.subscribe(self.check_state)
-        radio.on_wake(self.check_state)
+        # Pre-bound hot-path callables: the table minimum is read once or
+        # twice per check (the table keeps it incrementally, so the call is
+        # O(1)), and re-binding the check/schedule methods on every trigger
+        # allocated a bound method per simulator event.
+        self._next_wakeup = table.next_wakeup
+        self._do_check_cb = self._do_check
+        self._check_state_cb = self.check_state
+        self._schedule_in = sim.schedule_in
+        self._reschedule = sim.reschedule
+        # The deferred-check event object, reused across checks: the
+        # ``_check_pending`` flag guarantees it is never queued twice, so
+        # after it fires it can simply be re-keyed instead of re-allocated.
+        self._check_event = None
+        # Bind the MAC's has_pending property getter once: the descriptor
+        # dispatch per check was measurable.  Falls back to a plain closure
+        # for MAC implementations exposing has_pending as an attribute.
+        getter = getattr(type(mac), "has_pending", None)
+        if isinstance(getter, property):
+            self._mac_has_pending = getter.fget.__get__(mac, type(mac))
+        else:
+            self._mac_has_pending = lambda: mac.has_pending
+        table.subscribe(self._check_state_cb)
+        radio.on_wake(self._check_state_cb)
         # Re-evaluate whenever the radio returns to idle listening (e.g. it
         # just finished transmitting an acknowledgement): that is the moment
         # the node may have become free.  Registered through the radio's
         # idle-entry fast path so the listener does not run on every one of
         # the (several-per-frame) other transitions.
-        radio.on_enter_idle(self.check_state)
+        radio.on_enter_idle(self._check_state_cb)
 
     # ------------------------------------------------------------------ #
 
     def check_state(self) -> None:
         """Request a (deferred, coalesced) re-evaluation of the sleep decision."""
-        if not self.enabled or self._check_pending:
+        if self._check_pending or not self.enabled:
             return
         self._check_pending = True
-        self._sim.schedule_in(
-            0.0, self._do_check, priority=EventPriority.LOW, label="safe_sleep.check"
-        )
+        event = self._check_event
+        if event is None:
+            self._check_event = self._schedule_in(
+                0.0, self._do_check_cb, priority=_LOW, label="safe_sleep.check"
+            )
+        else:
+            self._reschedule(event, 0.0)
 
     def _do_check(self) -> None:
         self._check_pending = False
-        self.stats.checks += 1
+        stats = self.stats
+        stats.checks += 1
         now = self._sim.now
 
         if now < self.setup_until:
-            self.stats.kept_awake_setup_slot += 1
+            stats.kept_awake_setup_slot += 1
             self._schedule_recheck(self.setup_until)
             return
         # Read the radio state once (private attribute: this check runs after
         # nearly every radio/table transition, and even the property
         # descriptor was measurable here).
-        state = self._radio._state
-        if state is RadioState.OFF:
+        radio = self._radio
+        state = radio._state
+        if state is _OFF:
             # A new expectation may have appeared while asleep (e.g. a query
             # registered at runtime): pull the scheduled wake-up forward if
             # the node now needs to be up earlier.
-            t_wakeup = self._table.next_wakeup()
+            t_wakeup = self._next_wakeup()
             if t_wakeup is not None:
-                self._radio.advance_wake(max(now, t_wakeup))
+                radio.advance_wake(t_wakeup if t_wakeup > now else now)
             return
-        if state is RadioState.TURNING_ON or state is RadioState.TURNING_OFF:
+        if state is _TURNING_ON or state is _TURNING_OFF:
             # Transitioning; the wake-up path re-checks on completion.
             return
-        if self._mac.has_pending:
+        if self._mac_has_pending():
             # Sending (or about to send); SS re-runs when the shaper records
             # the completed send in the timing table.
-            self.stats.kept_awake_busy_mac += 1
+            stats.kept_awake_busy_mac += 1
             return
 
-        t_wakeup = self._table.next_wakeup()
+        # Inlined TimingTable.next_wakeup fast path (private access, like the
+        # radio state read above): the cached minimum is valid in the vastly
+        # common case, and this check runs after nearly every event.
+        table = self._table
+        t_wakeup = table._cached_min if table._min_valid else self._next_wakeup()
         if t_wakeup is None:
             # No queries routed through this node: nothing to schedule
             # against, so leave the radio alone (the protocol above decides
@@ -151,23 +196,23 @@ class SafeSleep:
         t_sleep = t_wakeup - now
         if t_sleep <= 0:
             # A data report is due (or overdue): the node is busy listening.
-            self.stats.kept_awake_expectation_due += 1
+            stats.kept_awake_expectation_due += 1
             return
         if t_sleep <= self.break_even_time:
             # Sleeping would cost more than it saves (or would make the node
             # late); stay awake until the expectation and re-check then.
-            self.stats.kept_awake_below_break_even += 1
+            stats.kept_awake_below_break_even += 1
             self._schedule_recheck(t_wakeup)
             return
 
-        if self._radio.sleep_until(t_wakeup):
-            self.stats.sleeps += 1
+        if radio.sleep_until(t_wakeup):
+            stats.sleeps += 1
             trace = self._sim.trace
             if trace.enabled:
                 trace.emit(
                     now,
                     "safe_sleep.sleep",
-                    node=self._radio.node_id,
+                    node=radio.node_id,
                     until=t_wakeup,
                     interval=t_sleep,
                 )
@@ -176,5 +221,5 @@ class SafeSleep:
         if when <= self._sim.now:
             return
         self._sim.schedule_at(
-            when, self.check_state, priority=EventPriority.LOW, label="safe_sleep.recheck"
+            when, self._check_state_cb, priority=_LOW, label="safe_sleep.recheck"
         )

@@ -27,14 +27,17 @@ from ..sim.engine import Simulator
 from .timing import TimingTable
 
 #: Callback used by shapers to transmit control packets (DTS phase requests).
-ControlSender = Callable[[Packet], None]
+#: Returning ``False`` means the packet was rejected before reaching the air
+#: (MAC queue overflow) and must not be counted as transmitted overhead; any
+#: other return value (including ``None``) means it was accepted.
+ControlSender = Callable[[Packet], object]
 
 #: Callback invoked when a shaper declares a child failed after repeated
 #: missing reports: ``callback(query_id, child)``.
 ChildFailureCallback = Callable[[int, int], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class ShaperStats:
     """Counters shared by all traffic shapers."""
 
@@ -52,7 +55,7 @@ class ShaperStats:
     piggyback_overhead_bits: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _ShaperQueryState:
     """Per-query state common to every shaper."""
 
@@ -78,6 +81,17 @@ class TrafficShaper(abc.ABC):
 
     #: Human-readable shaper name ("NTS", "STS", "DTS").
     name: str = "shaper"
+
+    __slots__ = (
+        "_sim",
+        "_table",
+        "node_id",
+        "_send_control",
+        "_on_child_failure",
+        "_max_consecutive_misses",
+        "_queries",
+        "stats",
+    )
 
     def __init__(
         self,
@@ -240,10 +254,13 @@ class TrafficShaper(abc.ABC):
     # ------------------------------------------------------------------ #
 
     def _state(self, query_id: int) -> _ShaperQueryState:
-        state = self._queries.get(query_id)
-        if state is None:
-            raise KeyError(f"query {query_id} is not registered with the {self.name} shaper")
-        return state
+        # try/except keeps the registered (hot) case a bare dict lookup.
+        try:
+            return self._queries[query_id]
+        except KeyError:
+            raise KeyError(
+                f"query {query_id} is not registered with the {self.name} shaper"
+            ) from None
 
     def _reset_miss_count(self, query_id: int, child: int) -> None:
         state = self._queries.get(query_id)

@@ -35,6 +35,8 @@ class StaticTrafficShaper(TrafficShaper):
 
     name = "STS"
 
+    __slots__ = ("timeout_constant", "_local_deadline")
+
     def __init__(self, *args, timeout_constant: float = 0.0, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         #: The constant ``t_TO`` subtracted from ``s(k) + l`` when computing

@@ -29,7 +29,6 @@ from ..net.channel import WirelessChannel
 from ..net.packet import AckPacket, Packet
 from ..radio.radio import Radio
 from ..sim.engine import Simulator
-from ..sim.process import Timer
 from ..sim.rng import RandomStreams
 from ..radio.states import RadioState
 from .base import Mac, MacConfig, ReceiveCallback, SendDoneCallback
@@ -76,6 +75,13 @@ class CsmaMac(Mac):
         self.config = config if config is not None else MacConfig()
         rng_source = streams if streams is not None else sim.streams
         self._rng = rng_source.get(f"mac.backoff.{node_id}")
+        # ``randint(0, w)`` resolves to ``_randbelow(w + 1)`` inside
+        # ``random.Random``; calling it directly skips two wrapper frames per
+        # backoff draw while consuming the identical RNG state (the fallback
+        # covers interpreters without the private helper).
+        self._randbelow = getattr(
+            self._rng, "_randbelow", lambda n: self._rng.randrange(n)
+        )
         self._queue = TransmitQueue(self.config.queue_capacity)
         self._current: Optional[_Outgoing] = None
         self._state = _MacState.IDLE
@@ -91,14 +97,23 @@ class CsmaMac(Mac):
         # off between a reception and its acknowledgement.
         self._pending_acks = 0
 
-        self._attempt_timer = Timer(sim, self._on_attempt_timer, label=f"mac{node_id}.attempt")
-        self._ack_timer = Timer(sim, self._on_ack_timeout, label=f"mac{node_id}.ack_timeout")
-        # Precomputed so the per-frame hot path does not rebuild the label
-        # or chase config attributes.
+        # Attempt/ACK timers are raw engine events (the handle doubles as the
+        # cancellation token): re-arming through a Timer wrapper cost an
+        # extra call frame per backoff on the busiest path in the MAC.
+        self._attempt_handle = None
+        self._ack_handle = None
+        self._attempt_label = f"mac{node_id}.attempt"
+        self._ack_label = f"mac{node_id}.ack_timeout"
+        # Precomputed so the per-frame hot path does not rebuild the label,
+        # chase config attributes, or re-bind callback methods.
         self._tx_done_label = f"mac{node_id}.tx_done"
         self._slot_time = self.config.slot_time
         self._difs = self.config.difs
         self._use_acks = self.config.use_acks
+        self._on_attempt_timer_cb = self._on_attempt_timer
+        self._on_ack_timeout_cb = self._on_ack_timeout
+        self._on_tx_complete_cb = self._on_tx_complete
+        self._transmit_ack_cb = self._transmit_ack
 
         channel.register(node_id, radio, self._on_phy_receive)
         radio.on_wake(self._on_radio_wake)
@@ -197,7 +212,14 @@ class CsmaMac(Mac):
     def _defer(self, delay: float) -> None:
         self._state = _MacState.DEFERRING
         slot_time = self._slot_time
-        self._attempt_timer.start_in(delay if delay > slot_time else slot_time)
+        handle = self._attempt_handle
+        if handle is not None:
+            handle.cancel()
+        self._attempt_handle = self._sim.schedule_in(
+            delay if delay > slot_time else slot_time,
+            self._on_attempt_timer_cb,
+            label=self._attempt_label,
+        )
 
     def _draw_backoff(self, initial: bool = False) -> float:
         assert self._current is not None
@@ -205,10 +227,11 @@ class CsmaMac(Mac):
         window = min(self._current.cw, self.config.cw_max)
         if initial:
             window = min(window, self.config.cw_min)
-        slots = self._rng.randint(0, window)
+        slots = self._randbelow(window + 1)
         return slots * self._slot_time
 
     def _on_attempt_timer(self) -> None:
+        self._attempt_handle = None
         if self._current is None:
             self._state = _MacState.IDLE
             self._maybe_start_next()
@@ -248,7 +271,7 @@ class CsmaMac(Mac):
                 dst=packet.dst,
                 attempt=self._current.attempts,
             )
-        self._sim.schedule_in(airtime, self._on_tx_complete, label=self._tx_done_label)
+        self._sim.schedule_in(airtime, self._on_tx_complete_cb, label=self._tx_done_label)
 
     def _on_tx_complete(self) -> None:
         if self._current is None:
@@ -272,9 +295,15 @@ class CsmaMac(Mac):
             + ack_airtime
             + self.config.ack_timeout_slack_slots * self.config.slot_time
         )
-        self._ack_timer.start_in(timeout)
+        handle = self._ack_handle
+        if handle is not None:
+            handle.cancel()
+        self._ack_handle = self._sim.schedule_in(
+            timeout, self._on_ack_timeout_cb, label=self._ack_label
+        )
 
     def _on_ack_timeout(self) -> None:
+        self._ack_handle = None
         if self._current is None or self._state is not _MacState.WAITING_FOR_ACK:
             return
         self._retry_or_fail()
@@ -294,7 +323,10 @@ class CsmaMac(Mac):
         outgoing = self._current
         self._current = None
         self._state = _MacState.IDLE
-        self._ack_timer.cancel()
+        handle = self._ack_handle
+        if handle is not None:
+            handle.cancel()
+            self._ack_handle = None
         if success:
             self.stats.record_access_delay(self._sim.now - outgoing.enqueued_at)
         self._notify_send_done(outgoing.packet, success)
@@ -309,14 +341,17 @@ class CsmaMac(Mac):
     # ------------------------------------------------------------------ #
 
     def _on_phy_receive(self, packet: Packet, rx_start: float) -> None:
-        if isinstance(packet, AckPacket):
+        # ``type(...) is`` rather than isinstance: AckPacket is a leaf type,
+        # and this runs once per delivered frame at every receiver.
+        if type(packet) is AckPacket:
             self._handle_ack(packet)
             return
-        if packet.dst == BROADCAST:
+        dst = packet.dst
+        if dst == BROADCAST:
             self.stats.frames_received += 1
             self._deliver(packet)
             return
-        if packet.dst != self.node_id:
+        if dst != self.node_id:
             # Overheard unicast frame destined elsewhere; ignore.
             return
         if self._use_acks:
@@ -336,7 +371,10 @@ class CsmaMac(Mac):
         ):
             return
         self.stats.acks_received += 1
-        self._ack_timer.cancel()
+        handle = self._ack_handle
+        if handle is not None:
+            handle.cancel()
+            self._ack_handle = None
         self.stats.frames_sent += 1
         self._complete_current(success=True)
 
@@ -348,7 +386,7 @@ class CsmaMac(Mac):
             created_at=self._sim.now,
         )
         self._pending_acks += 1
-        self._sim.schedule_in(self.config.sifs, self._transmit_ack, ack)
+        self._sim.schedule_in(self.config.sifs, self._transmit_ack_cb, ack)
 
     def _transmit_ack(self, ack: AckPacket) -> None:
         self._pending_acks = max(0, self._pending_acks - 1)

@@ -14,7 +14,13 @@ class TransmitQueue:
     Frames arriving when the queue is full are dropped and counted; sensor
     platforms have very limited packet buffers, so overflow behaviour is part
     of the model rather than an error.
+
+    ``__slots__`` plus branch-based watermark updates: every frame a node
+    forwards passes through :meth:`push`/:meth:`pop`, so the counters stay
+    off the instance-dict path and the common case costs two deque calls.
     """
+
+    __slots__ = ("capacity", "_queue", "enqueued", "dropped_overflow", "high_watermark")
 
     def __init__(self, capacity: int = 50) -> None:
         if capacity <= 0:
@@ -27,34 +33,42 @@ class TransmitQueue:
 
     def push(self, packet: Packet) -> bool:
         """Append ``packet``; returns ``False`` (and counts a drop) when full."""
-        if len(self._queue) >= self.capacity:
+        queue = self._queue
+        if len(queue) >= self.capacity:
             self.dropped_overflow += 1
             return False
-        self._queue.append(packet)
+        queue.append(packet)
         self.enqueued += 1
-        self.high_watermark = max(self.high_watermark, len(self._queue))
+        depth = len(queue)
+        if depth > self.high_watermark:
+            self.high_watermark = depth
         return True
 
     def push_front(self, packet: Packet) -> bool:
         """Prepend ``packet`` (used to requeue a frame after a failed attempt)."""
-        if len(self._queue) >= self.capacity:
+        queue = self._queue
+        if len(queue) >= self.capacity:
             self.dropped_overflow += 1
             return False
-        self._queue.appendleft(packet)
-        self.high_watermark = max(self.high_watermark, len(self._queue))
+        queue.appendleft(packet)
+        depth = len(queue)
+        if depth > self.high_watermark:
+            self.high_watermark = depth
         return True
 
     def pop(self) -> Optional[Packet]:
         """Remove and return the head frame, or ``None`` when empty."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return None
-        return self._queue.popleft()
+        return queue.popleft()
 
     def peek(self) -> Optional[Packet]:
         """Return the head frame without removing it, or ``None`` when empty."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return None
-        return self._queue[0]
+        return queue[0]
 
     def __len__(self) -> int:
         return len(self._queue)

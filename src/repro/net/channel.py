@@ -81,6 +81,9 @@ class Transmission:
     #: Node ids whose carrier-sense index holds this transmission (the
     #: sender plus its in-range nodes at start-of-frame).
     covered: Tuple[int, ...] = ()
+    #: The covering lists themselves, in ``covered`` order: the frame's end
+    #: removes itself from each without re-resolving the per-node dict.
+    covered_lists: Tuple[list, ...] = ()
 
 
 class ChannelStats:
@@ -163,6 +166,9 @@ class WirelessChannel:
         #: ``version`` changes.
         self._neighbor_cache: Dict[int, Tuple[int, ...]] = {}
         self._topology_version: int = topology.version
+        #: Pre-bound end-of-frame callback (one bound-method allocation per
+        #: transmission otherwise).
+        self._finish_transmission_cb = self._finish_transmission
         self.stats = ChannelStats()
 
     # ------------------------------------------------------------------ #
@@ -226,6 +232,7 @@ class WirelessChannel:
                 if entries is not None and own in entries:
                     entries.remove(own)
             own.covered = ()
+            own.covered_lists = ()
             for receiver in own.receivers:
                 own.receivers[receiver] = False
         self._neighbor_cache.pop(node_id, None)
@@ -309,7 +316,9 @@ class WirelessChannel:
 
         neighbors = self._neighbors_of(sender)
         covering = self._covering
-        covering[sender].append(transmission)
+        sender_list = covering[sender]
+        sender_list.append(transmission)
+        covered_lists = [sender_list]
         receivers = transmission.receivers
         collisions = 0
         missed_asleep = 0
@@ -320,7 +329,9 @@ class WirelessChannel:
             for neighbor in neighbors:
                 # The carrier-sense index hears the energy whatever the
                 # neighbour's radio (or registration) state.
-                covering[neighbor].append(transmission)
+                neighbor_list = covering[neighbor]
+                neighbor_list.append(transmission)
+                covered_lists.append(neighbor_list)
 
                 neighbor_attached = attached.get(neighbor)
                 if neighbor_attached is None:
@@ -361,6 +372,7 @@ class WirelessChannel:
             for neighbor in neighbors:
                 audible_here = covering[neighbor]
                 audible_here.append(transmission)
+                covered_lists.append(audible_here)
 
                 neighbor_attached = attached.get(neighbor)
                 if neighbor_attached is None:
@@ -405,10 +417,11 @@ class WirelessChannel:
         if missed_asleep:
             stats.missed_asleep += missed_asleep
         transmission.covered = (sender,) + neighbors
+        transmission.covered_lists = tuple(covered_lists)
 
         sim.schedule_at(
             transmission.end,
-            self._finish_transmission,
+            self._finish_transmission_cb,
             transmission,
             priority=EventPriority.HIGH,
             label="channel.tx_end",
@@ -432,8 +445,8 @@ class WirelessChannel:
             sender_attached[0].end_tx()
         self._active.pop(transmission.sender, None)
         covering = self._covering
-        for node in transmission.covered:
-            covering[node].remove(transmission)
+        for entries in transmission.covered_lists:
+            entries.remove(transmission)
         now = self._sim.now
         trace = self._sim.trace
         tracing = trace.enabled

@@ -32,7 +32,7 @@ def _next_packet_id() -> int:
     return next(_packet_ids)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """Base class for every frame put on the air.
 
@@ -66,7 +66,7 @@ class Packet:
         return replace(self, src=src, dst=dst, packet_id=_next_packet_id())
 
 
-@dataclass
+@dataclass(slots=True)
 class DataReportPacket(Packet):
     """A (possibly aggregated) data report travelling up the routing tree.
 
@@ -115,7 +115,7 @@ class DataReportPacket(Packet):
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class AckPacket(Packet):
     """MAC-level acknowledgement for a unicast frame."""
 
@@ -127,7 +127,7 @@ class AckPacket(Packet):
         self.size_bytes = ACK_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class SetupPacket(Packet):
     """Flooded query/tree setup request.
 
@@ -144,7 +144,7 @@ class SetupPacket(Packet):
         self.size_bytes = CONTROL_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class PhaseRequestPacket(Packet):
     """Explicit request for a DTS phase update after detected packet loss."""
 
@@ -154,7 +154,7 @@ class PhaseRequestPacket(Packet):
         self.size_bytes = CONTROL_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class PhaseUpdatePacket(Packet):
     """Explicit DTS phase update (used when it cannot be piggybacked)."""
 
@@ -165,7 +165,7 @@ class PhaseUpdatePacket(Packet):
         self.size_bytes = CONTROL_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class BeaconPacket(Packet):
     """PSM beacon frame announcing the start of a beacon interval."""
 
@@ -176,7 +176,7 @@ class BeaconPacket(Packet):
         self.dst = BROADCAST
 
 
-@dataclass
+@dataclass(slots=True)
 class AtimPacket(Packet):
     """PSM ATIM (traffic announcement) frame sent during the ATIM window."""
 
@@ -186,7 +186,7 @@ class AtimPacket(Packet):
         self.size_bytes = CONTROL_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class AdvertisementPacket(Packet):
     """PSM traffic advertisement (per the extensions in [3])."""
 
@@ -197,7 +197,7 @@ class AdvertisementPacket(Packet):
         self.dst = BROADCAST
 
 
-@dataclass
+@dataclass(slots=True)
 class CoordinatorAnnouncement(Packet):
     """SPAN coordinator announcement keeping the backbone connected."""
 

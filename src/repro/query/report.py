@@ -8,7 +8,7 @@ from typing import Optional, Set
 from .aggregation import AggregationFunction, PartialAggregate
 
 
-@dataclass
+@dataclass(slots=True)
 class DataReport:
     """An application-level (possibly aggregated) data report.
 
@@ -33,7 +33,7 @@ class DataReport:
         return self.aggregate.finalize()
 
 
-@dataclass
+@dataclass(slots=True)
 class CollectionState:
     """Per-(query, period) collection state at one node.
 

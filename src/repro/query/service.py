@@ -15,6 +15,26 @@ All **timing decisions** are delegated to a pluggable :class:`SendPolicy`:
 The ESSAT traffic shapers in :mod:`repro.core` implement this interface; the
 default :class:`GreedySendPolicy` (send immediately, period-based timeout) is
 what the SYNC/PSM/SPAN baselines run on.
+
+Hot-path design
+---------------
+The service runs once per data report per node, so its steady-state loop is
+engineered like the engine and channel:
+
+* Per-period :class:`~repro.query.report.CollectionState` objects are
+  **pruned** as soon as their period completes; watermark-compressed index
+  sets (:class:`_PeriodWatermark`, for completed and submitted periods)
+  replace them for duplicate detection, so the per-query state stays
+  O(in-flight periods) instead of growing with the run length (and
+  maintenance sweeps such as :meth:`QueryService.remove_child_dependency`
+  only ever walk the in-flight periods).
+* The :class:`SendPolicy` methods called per packet are bound once at
+  construction (``_policy_*``) instead of being re-resolved through the
+  policy object on every dispatch.
+* Aggregation timeouts are scheduled directly as engine events (the handle
+  is the cancellation token) rather than through per-period
+  :class:`~repro.sim.process.Timer` wrappers and capture lambdas.
+* The runtime containers are ``__slots__`` dataclasses.
 """
 
 from __future__ import annotations
@@ -26,7 +46,7 @@ from ..net.node import Node
 from ..net.packet import DataReportPacket, Packet
 from ..routing.tree import RoutingTree
 from ..sim.engine import Simulator
-from ..sim.process import Timer
+from ..sim.events import EventHandle
 from .aggregation import PartialAggregate
 from .query import QuerySpec, SourceSelection
 from .report import CollectionState, DataReport
@@ -114,6 +134,8 @@ class GreedySendPolicy:
     propagate to the root when a subtree is silent.
     """
 
+    __slots__ = ("_deadlines", "_rank", "_max_rank")
+
     def __init__(self) -> None:
         self._deadlines: Dict[int, float] = {}
         self._rank = 0
@@ -157,7 +179,7 @@ class GreedySendPolicy:
         return None
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryServiceStats:
     """Counters describing one node's query-service activity."""
 
@@ -175,28 +197,91 @@ class QueryServiceStats:
     total_buffer_delay: float = 0.0
 
 
-@dataclass
+class _PeriodWatermark:
+    """A set of period indexes, compressed around in-order marking.
+
+    Periods complete (and submit) almost entirely in order, so a contiguous
+    watermark absorbs them; only indexes marked out of order occupy the
+    sparse set, and they are folded into the watermark as soon as the gap
+    closes.  Membership state therefore stays O(in-flight periods) instead
+    of growing with the run length.
+    """
+
+    __slots__ = ("through", "sparse")
+
+    def __init__(self) -> None:
+        #: Every index <= this has been marked.
+        self.through = -1
+        #: Indexes marked out of order, awaiting watermark absorption.
+        self.sparse: Set[int] = set()
+
+    def mark(self, index: int) -> None:
+        if index == self.through + 1:
+            through = index
+            sparse = self.sparse
+            while through + 1 in sparse:
+                through += 1
+                sparse.remove(through)
+            self.through = through
+        elif index > self.through:
+            self.sparse.add(index)
+
+    def __contains__(self, index: int) -> bool:
+        return index <= self.through or index in self.sparse
+
+
+@dataclass(slots=True)
 class _QueryRuntime:
     """Per-query runtime state at one node."""
 
     spec: QuerySpec
     participating_children: List[int]
     is_source: bool
-    #: Per-period collection state, keyed by report index.
+    #: Event label shared by this query's period/send/timeout events.
+    label: str = ""
+    #: In-flight per-period collection state, keyed by report index.
+    #: Completed periods are pruned (see :attr:`completed`).
     collections: Dict[int, CollectionState] = field(default_factory=dict)
-    #: Per-period timeout timers.
-    timeout_timers: Dict[int, Timer] = field(default_factory=dict)
+    #: Periods whose collection already completed (delivered, sent or
+    #: cancelled); classifies late child reports as duplicates.
+    completed: _PeriodWatermark = field(default_factory=_PeriodWatermark)
+    #: Per-period timeout events, keyed by report index.
+    timeout_handles: Dict[int, EventHandle] = field(default_factory=dict)
     #: Outgoing sequence number for loss detection at the parent.
     next_sequence: int = 0
     #: Reports buffered by the traffic shaper, keyed by report index.
     buffered: Dict[int, DataReport] = field(default_factory=dict)
     #: Periods for which a report has already been submitted to the MAC.
-    submitted: Set[int] = field(default_factory=set)
+    submitted: _PeriodWatermark = field(default_factory=_PeriodWatermark)
     stopped: bool = False
 
 
 class QueryService:
     """Query execution engine for a single node."""
+
+    __slots__ = (
+        "_sim",
+        "_node",
+        "_tree",
+        "node_id",
+        "policy",
+        "_on_root_delivery",
+        "_on_parent_failure",
+        "_max_consecutive_send_failures",
+        "_sample_value_fn",
+        "_queries",
+        "_consecutive_send_failures",
+        "stats",
+        "_policy_send_time",
+        "_policy_collection_timeout",
+        "_policy_report_received",
+        "_policy_report_sent",
+        "_policy_phase_update_for",
+        "_policy_control_received",
+        "_on_period_start_cb",
+        "_on_collection_timeout_cb",
+        "_submit_buffered_cb",
+    )
 
     def __init__(
         self,
@@ -224,6 +309,19 @@ class QueryService:
         self._queries: Dict[int, _QueryRuntime] = {}
         self._consecutive_send_failures = 0
         self.stats = QueryServiceStats()
+        # Per-packet policy dispatch, bound once (hot path).
+        policy_obj = self.policy
+        self._policy_send_time = policy_obj.send_time
+        self._policy_collection_timeout = policy_obj.collection_timeout
+        self._policy_report_received = policy_obj.report_received
+        self._policy_report_sent = policy_obj.report_sent
+        self._policy_phase_update_for = policy_obj.phase_update_for
+        self._policy_control_received = policy_obj.control_received
+        # Pre-bound scheduled callbacks (one bound-method allocation per
+        # period/timeout/buffered-send event otherwise).
+        self._on_period_start_cb = self._on_period_start
+        self._on_collection_timeout_cb = self._on_collection_timeout
+        self._submit_buffered_cb = self._submit_buffered
 
         node.mac.set_receive_callback(self._on_mac_receive)
         node.mac.set_send_done_callback(self._on_mac_send_done)
@@ -260,6 +358,7 @@ class QueryService:
             spec=query,
             participating_children=participating_children,
             is_source=is_source,
+            label=f"query{query.query_id}.node{self.node_id}",
         )
         self._queries[query.query_id] = runtime
         self.policy.query_registered(
@@ -287,14 +386,15 @@ class QueryService:
 
     def _schedule_period_driver(self, runtime: _QueryRuntime, report_index: int) -> None:
         when = runtime.spec.report_time(report_index)
-        if when < self._sim.now:
-            when = self._sim.now
+        now = self._sim.now
+        if when < now:
+            when = now
         self._sim.schedule_at(
             when,
-            self._on_period_start,
+            self._on_period_start_cb,
             runtime.spec.query_id,
             report_index,
-            label=f"query{runtime.spec.query_id}.period{report_index}.node{self.node_id}",
+            label=runtime.label,
         )
 
     def _on_period_start(self, query_id: int, report_index: int) -> None:
@@ -310,20 +410,22 @@ class QueryService:
         state = self._get_or_create_collection(runtime, report_index)
 
         if runtime.is_source:
-            sample_value = self._sample_value_fn(self.node_id, report_index, self._sim.now)
+            now = self._sim.now
+            sample_value = self._sample_value_fn(self.node_id, report_index, now)
             sample = PartialAggregate.from_sample(spec.aggregation, sample_value)
-            state.add_own_sample(sample, generated_at=self._sim.now)
+            state.add_own_sample(sample, generated_at=now)
             self.stats.samples_generated += 1
 
         if runtime.participating_children:
-            timeout_at = self.policy.collection_timeout(query_id, report_index, period_start)
-            timer = Timer(
-                self._sim,
-                lambda q=query_id, k=report_index: self._on_collection_timeout(q, k),
-                label=f"query{query_id}.timeout{report_index}.node{self.node_id}",
+            timeout_at = self._policy_collection_timeout(query_id, report_index, period_start)
+            now = self._sim.now
+            runtime.timeout_handles[report_index] = self._sim.schedule_at(
+                timeout_at if timeout_at > now else now,
+                self._on_collection_timeout_cb,
+                query_id,
+                report_index,
+                label=runtime.label,
             )
-            timer.start_at(max(timeout_at, self._sim.now))
-            runtime.timeout_timers[report_index] = timer
 
         self._check_ready(runtime, report_index)
         self._schedule_period_driver(runtime, report_index + 1)
@@ -351,7 +453,7 @@ class QueryService:
         if isinstance(packet, DataReportPacket):
             self._on_data_report(packet)
         else:
-            self.policy.control_received(packet)
+            self._policy_control_received(packet)
 
     def _on_data_report(self, packet: DataReportPacket) -> None:
         runtime = self._queries.get(packet.query_id)
@@ -372,14 +474,15 @@ class QueryService:
                 # not meant for us; ignore.
                 return
         self.stats.reports_received += 1
-        self.policy.report_received(packet.query_id, child, packet)
+        self._policy_report_received(packet.query_id, child, packet)
 
-        state = self._get_or_create_collection(runtime, packet.report_index)
-        if state.completed:
+        report_index = packet.report_index
+        if report_index in runtime.completed:
             # The period already timed out and was forwarded; a late child
             # report cannot be folded in any more.
             self.stats.duplicate_reports += 1
             return
+        state = self._get_or_create_collection(runtime, report_index)
         partial = PartialAggregate.from_wire_pair(
             runtime.spec.aggregation, packet.value, packet.contributing_sources
         )
@@ -389,7 +492,7 @@ class QueryService:
         if not added:
             self.stats.duplicate_reports += 1
             return
-        self._check_ready(runtime, packet.report_index)
+        self._check_ready(runtime, report_index)
 
     # ------------------------------------------------------------------ #
     # readiness, buffering and sending
@@ -397,17 +500,25 @@ class QueryService:
 
     def _check_ready(self, runtime: _QueryRuntime, report_index: int) -> None:
         state = runtime.collections.get(report_index)
-        if state is None or state.completed or not state.is_complete:
+        if state is None or not state.is_complete:
             return
         if not state.has_any_contribution:
             # Every expected contributor disappeared (e.g. the only child was
             # declared failed) and there is nothing to forward this period.
-            state.completed = True
-            timer = runtime.timeout_timers.pop(report_index, None)
-            if timer is not None:
-                timer.cancel()
+            self._cancel_collection(runtime, report_index, state)
             return
-        self._complete_collection(runtime, report_index)
+        self._complete_collection(runtime, report_index, state)
+
+    def _cancel_collection(
+        self, runtime: _QueryRuntime, report_index: int, state: CollectionState
+    ) -> None:
+        """Retire a period that has nothing to forward."""
+        state.completed = True
+        runtime.completed.mark(report_index)
+        runtime.collections.pop(report_index, None)
+        handle = runtime.timeout_handles.pop(report_index, None)
+        if handle is not None:
+            handle.cancel()
 
     def _on_collection_timeout(self, query_id: int, report_index: int) -> None:
         runtime = self._queries.get(query_id)
@@ -421,18 +532,28 @@ class QueryService:
         self.policy.handle_missing_children(
             query_id, report_index, set(state.missing_children), period_start
         )
+        # ``handle_missing_children`` may re-enter this service: declaring a
+        # child failed removes the dependency, which can complete this very
+        # collection.  Re-check before forwarding so the period is completed
+        # exactly once.
+        if report_index in runtime.completed:
+            runtime.timeout_handles.pop(report_index, None)
+            return
         if not state.has_any_contribution:
             # Nothing at all to forward for this period.
-            state.completed = True
+            self._cancel_collection(runtime, report_index, state)
             return
-        self._complete_collection(runtime, report_index)
+        self._complete_collection(runtime, report_index, state)
 
-    def _complete_collection(self, runtime: _QueryRuntime, report_index: int) -> None:
-        state = runtime.collections[report_index]
+    def _complete_collection(
+        self, runtime: _QueryRuntime, report_index: int, state: CollectionState
+    ) -> None:
         state.completed = True
-        timer = runtime.timeout_timers.pop(report_index, None)
-        if timer is not None:
-            timer.cancel()
+        runtime.completed.mark(report_index)
+        runtime.collections.pop(report_index, None)
+        handle = runtime.timeout_handles.pop(report_index, None)
+        if handle is not None:
+            handle.cancel()
         assert state.aggregate is not None
         spec = runtime.spec
         report = DataReport(
@@ -454,20 +575,23 @@ class QueryService:
 
     def _deliver_at_root(self, report: DataReport) -> None:
         self.stats.root_deliveries += 1
-        self._sim.trace.emit(
-            self._sim.now,
-            "query.root_delivery",
-            node=self.node_id,
-            query=report.query_id,
-            k=report.report_index,
-            sources=report.contributing_sources,
-        )
+        now = self._sim.now
+        trace = self._sim.trace
+        if trace.enabled:
+            trace.emit(
+                now,
+                "query.root_delivery",
+                node=self.node_id,
+                query=report.query_id,
+                k=report.report_index,
+                sources=report.contributing_sources,
+            )
         if self._on_root_delivery is not None:
-            self._on_root_delivery(report.query_id, report.report_index, report, self._sim.now)
+            self._on_root_delivery(report.query_id, report.report_index, report, now)
 
     def _schedule_send(self, runtime: _QueryRuntime, report: DataReport) -> None:
         ready_time = self._sim.now
-        send_at = self.policy.send_time(report.query_id, report.report_index, ready_time)
+        send_at = self._policy_send_time(report.query_id, report.report_index, ready_time)
         if send_at <= ready_time:
             if send_at < ready_time:
                 self.stats.late_sends += 1
@@ -480,10 +604,10 @@ class QueryService:
         runtime.buffered[report.report_index] = report
         self._sim.schedule_at(
             send_at,
-            self._submit_buffered,
+            self._submit_buffered_cb,
             report.query_id,
             report.report_index,
-            label=f"query{report.query_id}.send{report.report_index}.node{self.node_id}",
+            label=runtime.label,
         )
 
     def _submit_buffered(self, query_id: int, report_index: int) -> None:
@@ -503,15 +627,14 @@ class QueryService:
             return
         if report.report_index in runtime.submitted:
             return
-        runtime.submitted.add(report.report_index)
+        runtime.submitted.mark(report.report_index)
         value, count = report.aggregate.as_wire_pair()
-        phase_update = self.policy.phase_update_for(
-            report.query_id, report.report_index, self._sim.now
-        )
+        now = self._sim.now
+        phase_update = self._policy_phase_update_for(report.query_id, report.report_index, now)
         packet = DataReportPacket(
             src=self.node_id,
             dst=parent,
-            created_at=self._sim.now,
+            created_at=now,
             query_id=report.query_id,
             report_index=report.report_index,
             origin=self.node_id,
@@ -544,7 +667,7 @@ class QueryService:
                 if parent is not None:
                     self._on_parent_failure(self.node_id, parent)
                 self._consecutive_send_failures = 0
-        self.policy.report_sent(
+        self._policy_report_sent(
             packet.query_id,
             packet.report_index,
             submitted_at=packet.created_at,
@@ -560,16 +683,19 @@ class QueryService:
         """Stop waiting for ``child`` in every registered query.
 
         Called when the node discovers it is the parent of a failed node.
+        A collection that was only waiting for the failed child completes
+        (or cancels, if it holds nothing at all) immediately -- the node
+        must not sit out the rest of the aggregation timeout for a report
+        that can no longer arrive.
         """
         for runtime in self._queries.values():
             if child in runtime.participating_children:
                 runtime.participating_children.remove(child)
                 self.policy.child_removed(runtime.spec.query_id, child)
+                # Only in-flight periods are stored (completed ones are
+                # pruned), so this walks the handful of open collections.
                 for state in runtime.collections.values():
-                    if not state.completed:
-                        state.expected_children.discard(child)
-                # Collections that were only waiting for the failed child may
-                # now be complete.
+                    state.expected_children.discard(child)
                 for report_index in sorted(runtime.collections):
                     self._check_ready(runtime, report_index)
 
@@ -585,9 +711,9 @@ class QueryService:
         if runtime is None:
             return
         runtime.stopped = True
-        for timer in runtime.timeout_timers.values():
-            timer.cancel()
-        runtime.timeout_timers.clear()
+        for handle in runtime.timeout_handles.values():
+            handle.cancel()
+        runtime.timeout_handles.clear()
 
     def shutdown(self) -> None:
         """Stop every registered query (the node failed or is being retired)."""

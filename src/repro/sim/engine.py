@@ -138,7 +138,18 @@ class Simulator:
                 f"cannot schedule event at t={time:.9f} before now={self.now:.9f}"
             )
         self._sequence = sequence = self._sequence + 1
-        event = Event(time, priority, sequence, callback, args, None, False, label)
+        # Slot-stuffed construction (keep in sync with Event.__init__): one
+        # event is allocated per scheduled callback, and the constructor call
+        # frame alone was measurable at paper scale.
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = priority
+        event.sequence = sequence
+        event.callback = callback
+        event.args = args
+        event.kwargs = None
+        event.cancelled = False
+        event.label = label
         event._sim = self
         event._in_heap = True
         heappush(self._heap, (time, priority, sequence, event))
@@ -162,10 +173,42 @@ class Simulator:
             raise SimulationError(f"cannot schedule event with negative delay {delay!r}")
         time = self.now + delay
         self._sequence = sequence = self._sequence + 1
-        event = Event(time, priority, sequence, callback, args, None, False, label)
+        # Slot-stuffed construction, as in schedule_at.
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = priority
+        event.sequence = sequence
+        event.callback = callback
+        event.args = args
+        event.kwargs = None
+        event.cancelled = False
+        event.label = label
         event._sim = self
         event._in_heap = True
         heappush(self._heap, (time, priority, sequence, event))
+        return event
+
+    def reschedule(self, event: Event, delay: float) -> EventHandle:
+        """Re-arm a previously *fired* event ``delay`` seconds from now.
+
+        The caller must guarantee the event is not currently queued (it has
+        already fired, or was never scheduled); the engine re-keys it with a
+        fresh sequence number, so heap ordering is identical to scheduling a
+        brand-new event with the same callback.  Reusing the object skips
+        the per-event allocation on tight notify-then-re-check loops (Safe
+        Sleep schedules one deferred check after nearly every model event).
+        """
+        if event._in_heap:
+            raise SimulationError("cannot reschedule an event that is still queued")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event with negative delay {delay!r}")
+        time = self.now + delay
+        self._sequence = sequence = self._sequence + 1
+        event.time = time
+        event.sequence = sequence
+        event.cancelled = False
+        event._in_heap = True
+        heappush(self._heap, (time, event.priority, sequence, event))
         return event
 
     # ------------------------------------------------------------------ #

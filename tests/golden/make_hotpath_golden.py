@@ -14,6 +14,17 @@ applied.  The pure performance refactor was verified bit-for-bit against
 the pre-overhaul engine by temporarily disabling those two fixes: every
 cell below matched exactly, so all metric movement relative to PR 2 is
 attributable to the deliberate fidelity fixes, none to the speedups.
+
+The PR 5 protocol-layer overhaul (TimingTable incremental minimum,
+query-service collection pruning, shaper/Safe Sleep dispatch, slotted
+packets) was verified the same way: with its three behaviour fixes
+(silent no-op table writes, exactly-once collection completion under
+mid-timeout child removal, deduplicated DTS phase requests) temporarily
+disabled, every golden cell below matched bit-for-bit *and* a paper-scale
+30-query DTS-SS replication processed the identical event count.  With the
+fixes enabled the snapshot was regenerated and came out byte-identical:
+none of the fixed behaviours occurs in these cells, so the golden pins
+carried over unchanged.
 Regenerate only when a deliberate, reviewed behaviour change occurs::
 
     PYTHONPATH=src python tests/golden/make_hotpath_golden.py

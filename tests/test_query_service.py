@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.protocol import EssatProtocolSuite
+from repro.experiments.runner import install_failure_schedule
 from repro.net.loss import ScriptedLoss
 from repro.net.node import Network, build_network
 from repro.net.packet import DataReportPacket
-from repro.net.topology import Topology
+from repro.net.topology import FailureSchedule, Topology
 from repro.query.aggregation import AggregationFunction
 from repro.query.query import QuerySpec, SourceSelection
 from repro.query.service import GreedySendPolicy, QueryService
@@ -234,3 +236,133 @@ class TestMaintenanceHooks:
         assert services[2].stats.reports_sent == 3
         assert services[1].stats.reports_received == 3
         assert services[0].stats.root_deliveries == 3
+
+
+class TestChurnCompletionExactlyOnce:
+    """Regression tests for the ``remove_child_dependency`` /
+    ``_on_collection_timeout`` interaction under injected node failures.
+
+    A failed node without coordinated repair (the PR 2 churn path with the
+    baseline failure handler) is discovered by its parent through
+    consecutive missing reports (Section 4.3).  The escalation fires *from
+    inside* the collection-timeout handler, so removing the dependency can
+    complete the very collection whose timeout is being processed: before
+    the fix, the timeout handler then completed it a second time, delivering
+    (or forwarding) the same period twice.
+    """
+
+    @staticmethod
+    def _run_dts_star_with_failure():
+        # Star: root 0, source leaves 1 and 2; node 2 fails at t=1.25 via the
+        # scenario failure-injection path, with no EssatMaintenance repair.
+        topo = Topology.from_positions([(0, 0), (60, 0), (0, 60)], comm_range=80.0)
+        sim = Simulator(seed=3)
+        network = build_network(sim, topo, power_profile=IDEAL)
+        tree = build_routing_tree(topo, root=0)
+        deliveries: list[tuple[int, int]] = []
+        suite = EssatProtocolSuite(
+            sim,
+            network,
+            tree,
+            shaper="dts",
+            on_root_delivery=lambda q, k, report, done: deliveries.append((q, k)),
+        )
+        schedule = FailureSchedule(explicit=((1.25, 2),))
+        events = install_failure_schedule(sim, network, tree, schedule, suite=None)
+        assert events == [(1.25, 2)]
+        suite.register_query(QuerySpec(query_id=1, period=1.0, start_time=0.0, duration=8.0))
+        sim.run(until=12.0)
+        return suite, deliveries
+
+    def test_escalated_removal_completes_period_exactly_once(self) -> None:
+        suite, deliveries = self._run_dts_star_with_failure()
+        root = suite.nodes[0]
+        # The escalation path must actually have run: the root declared the
+        # silent child failed after repeated missing reports.
+        assert root.shaper.stats.children_declared_failed == 1
+        # Every period is delivered at the root exactly once -- the period
+        # completed by the mid-timeout removal must not be forwarded again
+        # by the remainder of the timeout handler.
+        assert len(deliveries) == len(set(deliveries)), (
+            "duplicate root deliveries: %r" % (sorted(deliveries),)
+        )
+        assert root.service.stats.root_deliveries == len(set(deliveries))
+
+    def test_periods_after_removal_complete_without_timeouts(self) -> None:
+        suite, deliveries = self._run_dts_star_with_failure()
+        root = suite.nodes[0]
+        # Once the dead child is removed, later collections complete as soon
+        # as the surviving child reports: the timeout count stops growing at
+        # the escalation threshold (3 consecutive misses).
+        assert root.service.stats.timeouts == 3
+        delivered_ks = sorted(k for _, k in set(deliveries))
+        assert delivered_ks == list(range(len(delivered_ks))), delivered_ks
+
+    def test_removal_cancels_empty_collection_immediately(self) -> None:
+        # Chain 0 <- 1 <- 2: node 1 relays, node 2 is the only source.  When
+        # node 2 dies, node 1's open collection holds nothing at all: the
+        # removal must cancel it (and its timeout) immediately rather than
+        # leaving the period to fire its timer.
+        topo = Topology.line(3, spacing=100.0, comm_range=120.0)
+        sim = Simulator(seed=5)
+        network = build_network(sim, topo, power_profile=IDEAL)
+        tree = build_routing_tree(topo, root=0)
+        deliveries: list[tuple[int, int]] = []
+        suite = EssatProtocolSuite(
+            sim,
+            network,
+            tree,
+            shaper="dts",
+            on_root_delivery=lambda q, k, report, done: deliveries.append((q, k)),
+        )
+        schedule = FailureSchedule(explicit=((1.25, 2),))
+        install_failure_schedule(sim, network, tree, schedule, suite=None)
+        suite.register_query(QuerySpec(query_id=1, period=1.0, start_time=0.0, duration=8.0))
+        sim.run(until=12.0)
+        relay = suite.nodes[1]
+        assert relay.shaper.stats.children_declared_failed == 1
+        # Exactly the three run-up misses time out; once the dead child is
+        # removed, empty periods retire at period start with no timer armed.
+        assert relay.service.stats.timeouts == 3
+        assert relay.service.stats.reports_sent <= 2  # the pre-failure periods
+        assert len(deliveries) == len(set(deliveries))
+
+
+class TestPeriodWatermark:
+    """The per-period bookkeeping stays O(in-flight), not O(run length).
+
+    Periods complete (and submit) almost entirely in order, so a contiguous
+    watermark absorbs them; only out-of-order marks sit in the sparse set
+    until the watermark catches up.
+    """
+
+    @staticmethod
+    def _watermark():
+        from repro.query.service import _PeriodWatermark
+
+        return _PeriodWatermark()
+
+    def test_in_order_marks_collapse_into_the_watermark(self) -> None:
+        marks = self._watermark()
+        for k in range(100):
+            marks.mark(k)
+        assert marks.through == 99
+        assert marks.sparse == set()
+        assert 99 in marks
+        assert 100 not in marks
+
+    def test_out_of_order_mark_is_absorbed_when_the_gap_closes(self) -> None:
+        marks = self._watermark()
+        marks.mark(0)
+        marks.mark(2)
+        marks.mark(3)
+        assert marks.through == 0
+        assert marks.sparse == {2, 3}
+        assert 2 in marks and 1 not in marks
+        marks.mark(1)
+        assert marks.through == 3
+        assert marks.sparse == set()
+        # Re-marking below the watermark is a no-op.
+        marks.mark(2)
+        assert marks.through == 3
+        assert marks.sparse == set()

@@ -40,6 +40,28 @@ def report_packet(src: int, dst: int, query_id: int, k: int, sequence: int = 0, 
 QUERY = QuerySpec(query_id=1, period=1.0, start_time=2.0)
 
 
+class ForcedRetryCsmaStub:
+    """A CSMA-shaped control sender for overhead-accounting tests.
+
+    Mimics the two MAC behaviours the accounting must be robust to: a frame
+    that is *accepted* but spends a long time in link-layer retries (the
+    answer it solicits is delayed), and a frame *rejected* outright because
+    the transmit queue is full (``send`` returns ``False``, exactly like
+    :meth:`repro.mac.csma.CsmaMac.send`).
+    """
+
+    def __init__(self, reject_next: int = 0) -> None:
+        self.sent: list = []
+        self.reject_next = reject_next
+
+    def send(self, packet) -> bool:
+        if self.reject_next > 0:
+            self.reject_next -= 1
+            return False
+        self.sent.append(packet)
+        return True
+
+
 class TestNts:
     def test_initial_expectations_equal_query_start(self) -> None:
         sim, table = Simulator(), TimingTable()
@@ -326,6 +348,87 @@ class TestDts:
         register(shaper, QUERY, node_id=2, tree=make_chain_tree())
         shaper.parent_changed()
         assert shaper.phase_update_for(1, 0, submit_time=2.0) == pytest.approx(3.0)
+
+    def test_forced_retry_does_not_double_count_request_overhead(self) -> None:
+        """Regression: one resynchronisation costs exactly one phase request.
+
+        The stub models a CSMA MAC forced into retries: it accepts the
+        request frame but takes several link-layer attempts, so the child's
+        answer is delayed past further report receptions.  Before the fix,
+        every gap detected while the answer was in flight issued (and
+        counted the overhead of) a duplicate request.
+        """
+        sim, table = Simulator(), TimingTable()
+        mac = ForcedRetryCsmaStub()
+        shaper = DynamicTrafficShaper(sim, table, node_id=1, send_control=mac.send)
+        register(shaper, QUERY, node_id=1, tree=make_chain_tree())
+
+        shaper.report_received(1, child=2, packet=report_packet(2, 1, 1, k=0, sequence=0))
+        # Two consecutive gaps while the (retried, still unanswered) request
+        # is in flight: seq 0 -> 2 -> 4.
+        shaper.report_received(1, child=2, packet=report_packet(2, 1, 1, k=2, sequence=2))
+        shaper.report_received(1, child=2, packet=report_packet(2, 1, 1, k=4, sequence=4))
+        assert shaper.stats.sequence_gaps_detected == 2
+        assert len(mac.sent) == 1, "one outstanding resync = one request on the air"
+        assert shaper.stats.phase_updates_requested == 1
+        assert shaper.stats.control_overhead_bytes == mac.sent[0].size_bytes
+
+    def test_answered_request_clears_outstanding_state(self) -> None:
+        sim, table = Simulator(), TimingTable()
+        mac = ForcedRetryCsmaStub()
+        shaper = DynamicTrafficShaper(sim, table, node_id=1, send_control=mac.send)
+        register(shaper, QUERY, node_id=1, tree=make_chain_tree())
+        shaper.report_received(1, child=2, packet=report_packet(2, 1, 1, k=0, sequence=0))
+        shaper.report_received(1, child=2, packet=report_packet(2, 1, 1, k=2, sequence=2))
+        assert shaper.stats.phase_updates_requested == 1
+        # The child's answer (a piggybacked update) arrives; a later loss may
+        # legitimately be re-requested and re-counted.
+        shaper.report_received(
+            1, child=2, packet=report_packet(2, 1, 1, k=3, sequence=3, phase_update=6.0)
+        )
+        shaper.report_received(1, child=2, packet=report_packet(2, 1, 1, k=5, sequence=5))
+        assert shaper.stats.phase_updates_requested == 2
+        assert len(mac.sent) == 2
+        assert shaper.stats.control_overhead_bytes == sum(p.size_bytes for p in mac.sent)
+
+    def test_unanswered_request_expires_after_one_period(self) -> None:
+        """A lost request (or answer) must not disable resync forever.
+
+        The outstanding-request entry expires after one query period: the
+        next gap detected after that re-requests (and is counted again --
+        it is a genuine new control transmission).
+        """
+        sim, table = Simulator(), TimingTable()
+        mac = ForcedRetryCsmaStub()
+        shaper = DynamicTrafficShaper(sim, table, node_id=1, send_control=mac.send)
+        register(shaper, QUERY, node_id=1, tree=make_chain_tree())
+        shaper.report_received(1, child=2, packet=report_packet(2, 1, 1, k=0, sequence=0))
+        shaper.report_received(1, child=2, packet=report_packet(2, 1, 1, k=2, sequence=2))
+        assert len(mac.sent) == 1
+        # More than one period passes with no answer: the request (or its
+        # answer) was evidently lost on the air.
+        sim.run(until=1.5)
+        shaper.report_received(1, child=2, packet=report_packet(2, 1, 1, k=4, sequence=4))
+        assert len(mac.sent) == 2
+        assert shaper.stats.phase_updates_requested == 2
+        assert shaper.stats.control_overhead_bytes == sum(p.size_bytes for p in mac.sent)
+
+    def test_rejected_request_is_not_counted_as_overhead(self) -> None:
+        """A queue-overflow rejection never reaches the air: count nothing."""
+        sim, table = Simulator(), TimingTable()
+        mac = ForcedRetryCsmaStub(reject_next=1)
+        shaper = DynamicTrafficShaper(sim, table, node_id=1, send_control=mac.send)
+        register(shaper, QUERY, node_id=1, tree=make_chain_tree())
+        shaper.report_received(1, child=2, packet=report_packet(2, 1, 1, k=0, sequence=0))
+        shaper.report_received(1, child=2, packet=report_packet(2, 1, 1, k=2, sequence=2))
+        assert mac.sent == []
+        assert shaper.stats.phase_updates_requested == 0
+        assert shaper.stats.control_overhead_bytes == 0
+        # The queue drained; the next detected gap retries and is counted once.
+        shaper.report_received(1, child=2, packet=report_packet(2, 1, 1, k=4, sequence=4))
+        assert len(mac.sent) == 1
+        assert shaper.stats.phase_updates_requested == 1
+        assert shaper.stats.control_overhead_bytes == mac.sent[0].size_bytes
 
     def test_overhead_accounting(self) -> None:
         sim, table = Simulator(), TimingTable()

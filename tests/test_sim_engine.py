@@ -275,3 +275,30 @@ def test_property_cancelled_events_never_fire(entries: list[tuple[float, bool]])
     sim.run()
     assert len(fired) == expected
     assert len(set(fired)) == len(fired)
+
+
+class TestReschedule:
+    def test_rescheduled_event_fires_with_fresh_ordering(self) -> None:
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        fired: list = []
+        handle = sim.schedule_in(0.0, lambda: fired.append(sim.now))
+        sim.run(until=0.0)
+        assert fired == [0.0]
+        # Re-arm the same (already fired) event object instead of allocating
+        # a new one; it must fire again at the new time.
+        sim.schedule_at(1.0, lambda: fired.append("other"))
+        sim.reschedule(handle, 2.0)
+        sim.run(until=3.0)
+        assert fired == [0.0, "other", 2.0]
+
+    def test_reschedule_rejects_queued_event(self) -> None:
+        import pytest
+
+        from repro.sim.engine import SimulationError, Simulator
+
+        sim = Simulator()
+        handle = sim.schedule_in(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.reschedule(handle, 2.0)

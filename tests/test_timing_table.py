@@ -79,6 +79,124 @@ class TestTimingTable:
         assert (1, "send", None, 2.0) in entries
 
 
+class TestNoOpWrites:
+    """Regression: writing the stored value must not notify listeners.
+
+    Before the fix, ``set_next_receive``/``set_next_send`` fired every
+    listener even when the written value was unchanged, scheduling a
+    spurious Safe Sleep re-evaluation per no-op write.
+    """
+
+    def test_noop_set_next_receive_is_silent(self) -> None:
+        table = TimingTable()
+        calls: list = []
+        table.subscribe(lambda: calls.append(1))
+        table.set_next_receive(1, child=2, time=1.5)
+        assert len(calls) == 1
+        table.set_next_receive(1, child=2, time=1.5)
+        assert len(calls) == 1, "no-op write must not notify"
+        assert table.next_receive(1, 2) == pytest.approx(1.5)
+
+    def test_noop_set_next_send_is_silent(self) -> None:
+        table = TimingTable()
+        calls: list = []
+        table.subscribe(lambda: calls.append(1))
+        table.set_next_send(1, time=2.5)
+        assert len(calls) == 1
+        table.set_next_send(1, time=2.5)
+        assert len(calls) == 1, "no-op write must not notify"
+        assert table.next_send(1) == pytest.approx(2.5)
+
+    def test_changed_write_still_notifies(self) -> None:
+        table = TimingTable()
+        calls: list = []
+        table.subscribe(lambda: calls.append(1))
+        table.set_next_receive(1, child=2, time=1.5)
+        table.set_next_receive(1, child=2, time=1.5)
+        table.set_next_receive(1, child=2, time=2.5)
+        table.set_next_send(1, time=3.0)
+        table.set_next_send(1, time=3.0)
+        table.set_next_send(1, time=4.0)
+        assert len(calls) == 4
+        assert table.next_wakeup() == pytest.approx(2.5)
+
+
+class TestEdgeCases:
+    def test_clear_next_send_on_root_is_silent(self) -> None:
+        # A root's table holds only reception expectations; clearing the
+        # (never set) send expectation must be a silent no-op.
+        table = TimingTable()
+        calls: list = []
+        table.subscribe(lambda: calls.append(1))
+        table.set_next_receive(1, child=2, time=1.0)
+        table.clear_next_send(1)
+        assert len(calls) == 1
+        assert table.next_wakeup() == pytest.approx(1.0)
+
+    def test_remove_last_child_of_last_query_reports_idle(self) -> None:
+        table = TimingTable()
+        table.set_next_receive(1, child=2, time=1.0)
+        table.set_next_receive(2, child=3, time=2.0)
+        table.remove_query(1)
+        assert not table.is_empty()
+        table.remove_child(2, 3)
+        assert table.is_empty()
+        assert table.next_wakeup() is None
+        # And the table comes back to life after a fresh expectation.
+        table.set_next_send(3, 5.0)
+        assert table.next_wakeup() == pytest.approx(5.0)
+
+    def test_unsubscribe_stops_notifications(self) -> None:
+        table = TimingTable()
+        calls: list = []
+        listener = lambda: calls.append(1)  # noqa: E731
+        table.subscribe(listener)
+        table.set_next_send(1, 1.0)
+        table.unsubscribe(listener)
+        table.set_next_send(1, 2.0)
+        assert len(calls) == 1
+
+    def test_unsubscribe_unknown_listener_is_noop(self) -> None:
+        table = TimingTable()
+        table.unsubscribe(lambda: None)  # must not raise
+
+    def test_unsubscribe_freshly_rebound_method(self) -> None:
+        # Each attribute access creates a new bound-method object, so the
+        # removal must compare by equality, not identity.
+        class Subscriber:
+            def __init__(self) -> None:
+                self.calls = 0
+
+            def on_change(self) -> None:
+                self.calls += 1
+
+        table = TimingTable()
+        subscriber = Subscriber()
+        table.subscribe(subscriber.on_change)
+        table.set_next_send(1, 1.0)
+        table.unsubscribe(subscriber.on_change)  # a *different* bound object
+        table.set_next_send(1, 2.0)
+        assert subscriber.calls == 1
+
+    def test_unsubscribe_during_notify(self) -> None:
+        # A listener that unsubscribes itself from inside the notification:
+        # the in-flight notification completes (both listeners run), and
+        # subsequent notifications skip the unsubscribed one.
+        table = TimingTable()
+        calls: list = []
+
+        def self_removing() -> None:
+            calls.append("self_removing")
+            table.unsubscribe(self_removing)
+
+        table.subscribe(self_removing)
+        table.subscribe(lambda: calls.append("other"))
+        table.set_next_send(1, 1.0)
+        assert calls == ["self_removing", "other"]
+        table.set_next_send(1, 2.0)
+        assert calls == ["self_removing", "other", "other"]
+
+
 @settings(max_examples=50, deadline=None)
 @given(
     st.lists(
@@ -103,3 +221,48 @@ def test_property_next_wakeup_is_global_minimum(entries) -> None:
             table.set_next_send(query_id, time)
             expected[(query_id, "s", None)] = time
     assert table.next_wakeup() == pytest.approx(min(expected.values()))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["set_recv", "set_send", "del_child", "clear_send", "del_query"]),
+            st.integers(min_value=1, max_value=3),  # query id
+            st.integers(min_value=0, max_value=3),  # child id
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_min_cache_survives_mixed_updates_and_removals(ops) -> None:
+    """The incrementally maintained minimum equals a model's after every op.
+
+    Exercises the cache-displacement paths (overwriting or removing the
+    current minimum) that the set-only property test above never hits.
+    """
+    table = TimingTable()
+    model: dict = {}
+    for op, query_id, child, time in ops:
+        if op == "set_recv":
+            table.set_next_receive(query_id, child, time)
+            model[(query_id, "r", child)] = time
+        elif op == "set_send":
+            table.set_next_send(query_id, time)
+            model[(query_id, "s", None)] = time
+        elif op == "del_child":
+            table.remove_child(query_id, child)
+            model.pop((query_id, "r", child), None)
+        elif op == "clear_send":
+            table.clear_next_send(query_id)
+            model.pop((query_id, "s", None), None)
+        else:
+            table.remove_query(query_id)
+            for key in [key for key in model if key[0] == query_id]:
+                del model[key]
+        if model:
+            assert table.next_wakeup() == pytest.approx(min(model.values()))
+        else:
+            assert table.next_wakeup() is None
+            assert table.is_empty()
