@@ -12,16 +12,29 @@ its serial / parallel / warm-store wall-clock numbers into
 ``BENCH_orchestrator.json`` at the repository root via
 :func:`record_orchestrator_bench`, so the sweep-throughput trajectory is
 machine-readable from this PR onward.
+
+All ``BENCH_*.json`` snapshots are written atomically (tempfile +
+``os.replace``), so an interrupted benchmark run cannot corrupt the
+committed artifacts.  Setting ``REPRO_PERF_HISTORY`` to a file path
+additionally appends each snapshot to that append-only perf-history JSONL
+(see :mod:`repro.obs.history`) -- opt-in via the environment so casual
+local benchmark runs do not grow the committed history.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import sys
 from pathlib import Path
 
 import pytest
 
 from repro.experiments.config import ScenarioConfig, default_scale
+from repro.obs.history import PerfHistory, atomic_write_text, entry_from_bench
+
+#: Environment variable selecting the perf-history file to append to.
+PERF_HISTORY_ENV_VAR = "REPRO_PERF_HISTORY"
 
 #: Where the orchestrator benchmark numbers land (repository root).
 ORCHESTRATOR_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_orchestrator.json"
@@ -58,18 +71,36 @@ def hotpath_bench_recorder():
     return record_hotpath_bench
 
 
+def _append_history(bench: str, results: dict) -> None:
+    """Append one history entry when ``REPRO_PERF_HISTORY`` requests it."""
+    history_path = os.environ.get(PERF_HISTORY_ENV_VAR, "").strip()
+    if not history_path:
+        return
+    try:
+        history = PerfHistory(history_path)
+        entry = entry_from_bench(bench, results)
+        history.append(entry)
+        print(f"perf history: recorded {bench} entry {entry.label()} -> {history.path}")
+    except Exception as error:  # noqa: BLE001 - history is best-effort
+        # Never fail the benchmark session over history bookkeeping; the
+        # BENCH_*.json snapshot is already on disk.
+        print(f"perf history: failed to record {bench} entry: {error}", file=sys.stderr)
+
+
 def pytest_sessionfinish(session, exitstatus) -> None:
     """Emit the benchmark JSON artifacts for whichever benchmarks ran."""
     if _orchestrator_bench:
-        ORCHESTRATOR_BENCH_PATH.write_text(
+        atomic_write_text(
+            ORCHESTRATOR_BENCH_PATH,
             json.dumps(_orchestrator_bench, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
         )
+        _append_history("orchestrator", _orchestrator_bench)
     if _hotpath_bench:
-        HOTPATH_BENCH_PATH.write_text(
+        atomic_write_text(
+            HOTPATH_BENCH_PATH,
             json.dumps(_hotpath_bench, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
         )
+        _append_history("hotpath", _hotpath_bench)
 
 
 @pytest.fixture(scope="session")

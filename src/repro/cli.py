@@ -9,7 +9,11 @@ Exposes the experiment harness without writing any Python:
 * ``python -m repro.cli scenarios list`` / ``scenarios run <family>`` work
   with the scenario registry (clustered, corridor, density, size,
   radio-profiles, churn, ... -- evaluation axes beyond the paper),
-* ``python -m repro.cli list`` shows the available figures and protocols.
+* ``python -m repro.cli list`` shows the available figures and protocols,
+* ``python -m repro.cli perf record|report|diff|check`` records benchmark
+  results into the append-only perf history, renders the speedup-trajectory
+  figure, profile-diffs two recorded commits, and gates fresh results with a
+  statistical regression bound (see :mod:`repro.obs.perfcli`).
 
 The ``--scale`` option selects the scenario size (``smoke`` for seconds-long
 sanity runs, ``reduced`` for the default benchmark scale, ``paper`` for the
@@ -201,6 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("list", help="list available figures, protocols and scales")
+
+    from .obs.perfcli import add_perf_parser
+
+    add_perf_parser(subparsers)
     return parser
 
 
@@ -344,6 +352,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "perf":
+        # Perf-history commands never build a scenario or touch the
+        # orchestrator options; dispatch before validating those.
+        from .obs.perfcli import run_perf
+
+        return run_perf(args, out)
     scenario = SCALES[args.scale]()
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")

@@ -91,6 +91,14 @@ class RunMetrics:
     sleep_intervals: List[float] = field(default_factory=list)
     #: MAC/channel counters useful for overhead analysis.
     channel_stats: Dict[str, int] = field(default_factory=dict)
+    #: Flat observability snapshot of the run (engine event totals, peak
+    #: heap size, network/protocol counter sums, wall-clock cost), produced
+    #: by :func:`repro.obs.adapters.collect_run_counters`.  Empty for
+    #: metrics built without a live simulation (e.g. hand-rolled tests).
+    #: ``compare=False``: equality of two RunMetrics means "same simulation
+    #: outcome", and the snapshot includes wall-clock gauges that legitimately
+    #: differ between bit-identical runs (serial vs parallel, warm store).
+    counters: Dict[str, float] = field(default_factory=dict, compare=False)
 
     def sleep_interval_histogram(
         self, bin_width: float = 0.025, max_value: Optional[float] = None
@@ -141,12 +149,15 @@ def collect_metrics(
     *,
     measure_from: float = 0.0,
     delivery_margin: Optional[float] = None,
+    counters: Optional[Dict[str, float]] = None,
 ) -> RunMetrics:
     """Compute the paper's metrics from a finished simulation run.
 
     ``delivery_margin`` defaults to one period of the slowest query: periods
     generated within that margin of the end of the run are not counted
-    against the delivery ratio.
+    against the delivery ratio.  ``counters`` is an optional observability
+    snapshot (see :func:`repro.obs.adapters.collect_run_counters`) attached
+    verbatim.
     """
     duty_per_node: Dict[int, float] = {}
     energy_per_node: Dict[int, float] = {}
@@ -206,6 +217,7 @@ def collect_metrics(
         energy_per_node=energy_per_node,
         sleep_intervals=sleep_intervals,
         channel_stats=network.channel.stats.as_dict(),
+        counters=dict(counters) if counters else {},
     )
 
 
@@ -238,6 +250,16 @@ def average_metrics(runs: Sequence[RunMetrics]) -> RunMetrics:
         for key, value in run.channel_stats.items():
             merged_channel[key] = merged_channel.get(key, 0) + value
 
+    # Observability counters average key-wise (unlike channel_stats, which
+    # historically sums): the result describes a *typical* replication, so
+    # gauges like peak heap size or wall-seconds must not scale with the
+    # replication count.
+    counter_keys = {key for run in runs for key in run.counters}
+    merged_counters = {
+        key: mean([run.counters[key] for run in runs if key in run.counters])
+        for key in sorted(counter_keys)
+    }
+
     return RunMetrics(
         protocol=runs[0].protocol,
         duration=mean([run.duration for run in runs]),
@@ -251,4 +273,5 @@ def average_metrics(runs: Sequence[RunMetrics]) -> RunMetrics:
         energy_per_node=merge_dicts([run.energy_per_node for run in runs]),
         sleep_intervals=merged_sleep,
         channel_stats=merged_channel,
+        counters=merged_counters,
     )

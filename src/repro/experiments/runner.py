@@ -15,6 +15,7 @@ runs in an on-disk store (``store=...``) without changing their results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 from ..baselines.always_on import AlwaysOnSuite
@@ -32,6 +33,7 @@ from ..net.topology import (
     build_topology_from_spec,
     generate_connected_topology,
 )
+from ..obs.adapters import collect_run_counters
 from ..query.query import QuerySpec
 from ..query.workload import WorkloadSpec
 from ..routing.tree import RoutingTree, build_routing_tree
@@ -233,9 +235,18 @@ def run_single(
     seed: int,
     *,
     topology: Optional[Topology] = None,
+    trace: Optional[TraceRecorder] = None,
 ) -> tuple[RunMetrics, Dict[str, float]]:
-    """Run one replication; returns its metrics and protocol-specific extras."""
-    sim = Simulator(seed=seed, trace=TraceRecorder(enabled=False))
+    """Run one replication; returns its metrics and protocol-specific extras.
+
+    ``trace`` installs a caller-provided :class:`TraceRecorder` (e.g. one
+    wired to a streaming JSONL sink with ``store_records=False`` for
+    paper-scale event logs); the default recorder is disabled, so tracing
+    never costs an untraced run anything.  Tracing is observation-only:
+    the simulation schedule (and therefore every metric) is bit-identical
+    with or without it.
+    """
+    sim = Simulator(seed=seed, trace=trace if trace is not None else TraceRecorder(enabled=False))
     if topology is None:
         topology = build_scenario_topology(scenario, seed)
     network = build_network(
@@ -265,7 +276,9 @@ def run_single(
         install_failure_schedule(sim, network, tree, scenario.failure_schedule, suite=suite)
     if scenario.mobility is not None:
         install_mobility(scenario.mobility, sim, topology, scenario.duration)
+    wall_start = perf_counter()
     sim.run(until=scenario.duration)
+    wall_seconds = perf_counter() - wall_start
     network.finalize()
     metrics = collect_metrics(
         protocol,
@@ -275,6 +288,9 @@ def run_single(
         queries,
         scenario.duration,
         measure_from=scenario.measure_from,
+        counters=collect_run_counters(
+            sim, network, suite, wall_seconds=wall_seconds
+        ),
     )
     extras: Dict[str, float] = {}
     overhead_fn = getattr(suite, "overhead_bits_per_report", None)

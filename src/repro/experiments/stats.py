@@ -89,6 +89,18 @@ def _t_critical(confidence: float, dof: int) -> float:
     return normal_critical
 
 
+def t_critical(confidence: float, dof: int) -> float:
+    """Two-sided Student-t critical value for ``confidence`` at ``dof``.
+
+    Public entry point for consumers outside this module (the perf-history
+    regression check uses it to build prediction bounds); scipy-exact when
+    available, table-backed otherwise.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence!r}")
+    return _t_critical(confidence, dof)
+
+
 def confidence_interval(values: Sequence[float], confidence: float = 0.9) -> IntervalEstimate:
     """Student-t confidence interval of the mean of ``values``.
 

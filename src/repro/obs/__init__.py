@@ -1,0 +1,56 @@
+"""Observability subsystem: run metrics, perf history, trace sinks.
+
+Three pillars, each usable on its own:
+
+* :mod:`repro.obs.metrics` -- a lightweight counter/gauge/histogram
+  registry.  :mod:`repro.obs.adapters` populates one from a finished
+  simulation run (engine internals, channel/MAC/propagation counters, the
+  ESSAT protocol stats objects), producing the flat ``counters`` dict that
+  travels on :class:`~repro.experiments.metrics.RunMetrics` through the
+  orchestrator result store, so sweeps are queryable after the fact.
+* :mod:`repro.obs.history` -- an append-only JSONL time-series of benchmark
+  results keyed by commit + host fingerprint, fed by
+  ``benchmarks/test_hotpath_bench.py`` / ``test_orchestrator_bench.py`` and
+  never overwritten (unlike the ``BENCH_*.json`` point snapshots).
+* :mod:`repro.obs.report` -- trajectory figures over the history (through
+  the existing :class:`~repro.experiments.tables.FigureResult` machinery),
+  ``layer_breakdown`` profile diffs between two recorded entries, and the
+  statistical regression check that replaces the crude >2x CI floor once a
+  cell has enough recorded samples.
+
+Trace sinks (the third tentpole pillar) live with the recorder they extend,
+in :mod:`repro.sim.trace`.
+
+The ``repro perf`` CLI (``python -m repro.cli perf record|report|diff|check``)
+is the operational front end; see :mod:`repro.obs.perfcli`.
+"""
+
+from .adapters import collect_run_counters, stats_as_mapping
+from .history import (
+    HISTORY_SCHEMA_VERSION,
+    PerfEntry,
+    PerfHistory,
+    atomic_write_text,
+    current_commit,
+    entry_from_bench,
+    host_fingerprint,
+)
+from .metrics import MetricsRegistry
+from .report import RegressionFinding, check_regression, diff_breakdown, trajectory_figure
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "PerfEntry",
+    "PerfHistory",
+    "RegressionFinding",
+    "atomic_write_text",
+    "check_regression",
+    "collect_run_counters",
+    "current_commit",
+    "diff_breakdown",
+    "entry_from_bench",
+    "host_fingerprint",
+    "stats_as_mapping",
+    "trajectory_figure",
+]

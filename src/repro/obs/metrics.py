@@ -1,0 +1,168 @@
+"""A lightweight counter/gauge/histogram registry for per-run metrics.
+
+The simulation already keeps detailed counters, but they are scattered:
+``ChannelStats`` on the channel, ``MacStats`` per node, ``ShaperStats`` /
+``SafeSleepStats`` / ``QueryServiceStats`` per ESSAT node, and engine
+internals on the :class:`~repro.sim.engine.Simulator`.  The registry gives
+them one uniform shape: adapters (see :mod:`repro.obs.adapters`) populate a
+registry at the end of a run, and :meth:`MetricsRegistry.snapshot` flattens
+it into a single ``{name: float}`` dict that serializes anywhere JSON goes.
+
+Naming convention: dotted ``layer.metric`` names (``engine.events_processed``,
+``channel.collisions``, ``mac.frames_sent``).  Histograms flatten to
+``name.count`` / ``name.sum`` / ``name.min`` / ``name.max`` / ``name.mean``.
+
+The registry is *not* a hot-path object: it is populated once per run from
+counters the model already maintains, so registering costs nothing during
+the simulation itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+#: Snapshot-key suffixes a histogram flattens to.
+_HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean")
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc by {amount!r})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that may move either way."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = float(value)
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Summary statistics over observed samples (count/sum/min/max/mean).
+
+    Deliberately not bucketed: per-run distributions that matter (sleep
+    intervals) already live on :class:`~repro.experiments.metrics.RunMetrics`;
+    the registry's histograms exist so adapters can fold *many* per-node
+    values into a queryable summary without storing every sample.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record every sample in ``values``."""
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed samples (0 when none observed)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A flat namespace of counters, gauges and histograms.
+
+    Names are unique across all three kinds; re-requesting a name returns
+    the existing instrument, requesting it as a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return existing
+        instrument = cls(name)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        return self._get_or_create(name, Histogram)
+
+    def count_from(self, prefix: str, values: Mapping[str, float]) -> None:
+        """Bulk-load ``values`` as counters named ``prefix.<key>``.
+
+        The bridge from the existing ``as_dict()`` stats objects: every
+        key/value pair becomes (or increments) a counter, so calling this
+        once per node *sums* per-node stats into network-wide totals.
+        """
+        for key, value in values.items():
+            self.counter(f"{prefix}.{key}").inc(float(value))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten every instrument into one ``{name: float}`` dict.
+
+        Counters and gauges contribute their value under their own name;
+        histograms contribute ``name.count`` / ``name.sum`` / ``name.min`` /
+        ``name.max`` / ``name.mean`` (min/max omitted when empty).  Keys are
+        sorted so the snapshot serializes deterministically.
+        """
+        flat: Dict[str, float] = {}
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Histogram):
+                flat[f"{name}.count"] = float(instrument.count)
+                flat[f"{name}.sum"] = instrument.sum
+                flat[f"{name}.mean"] = instrument.mean
+                if instrument.min is not None:
+                    flat[f"{name}.min"] = instrument.min
+                if instrument.max is not None:
+                    flat[f"{name}.max"] = instrument.max
+            else:
+                flat[name] = instrument.value  # type: ignore[attr-defined]
+        return dict(sorted(flat.items()))

@@ -42,7 +42,9 @@ from ..sim.rng import RandomStreams
 #: delivery-ratio metric stopped counting duplicate root deliveries.
 #: v3: scenarios gained propagation, loss, and mobility specs (the
 #: pluggable propagation layer).
-SCHEMA_VERSION = 3
+#: v4: RunMetrics gained the per-run observability ``counters`` snapshot
+#: (engine/network/protocol totals plus wall-clock cost).
+SCHEMA_VERSION = 4
 
 
 # ---------------------------------------------------------------------------
@@ -287,6 +289,7 @@ def metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
         "energy_per_node": {str(k): v for k, v in metrics.energy_per_node.items()},
         "sleep_intervals": list(metrics.sleep_intervals),
         "channel_stats": dict(metrics.channel_stats),
+        "counters": dict(metrics.counters),
     }
 
 
@@ -310,6 +313,7 @@ def metrics_from_dict(data: Dict[str, Any]) -> RunMetrics:
         energy_per_node=_int_keyed(data["energy_per_node"]),
         sleep_intervals=list(data["sleep_intervals"]),
         channel_stats=dict(data["channel_stats"]),
+        counters=dict(data.get("counters", {})),
     )
 
 

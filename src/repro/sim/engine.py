@@ -64,6 +64,7 @@ class Simulator:
         "_stopped",
         "_processed_events",
         "_cancelled_in_heap",
+        "_peak_heap_size",
         "streams",
         "trace",
     )
@@ -81,6 +82,8 @@ class Simulator:
         self._processed_events: int = 0
         #: Cancelled events still sitting in the heap (lazy deletion).
         self._cancelled_in_heap: int = 0
+        #: Largest heap length observed by run() (memory high-water mark).
+        self._peak_heap_size: int = 0
         self.streams = RandomStreams(seed)
         self.trace = trace if trace is not None else TraceRecorder()
 
@@ -101,6 +104,29 @@ class Simulator:
         longer scans the heap.
         """
         return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def scheduled_events(self) -> int:
+        """Total events ever pushed (schedules + reschedules), fired or not."""
+        return self._sequence
+
+    @property
+    def cancelled_events(self) -> int:
+        """Total events cancelled over the simulator's lifetime.
+
+        Derived, not counted: every scheduled event is eventually either
+        processed, still pending, or was cancelled, so the total is
+        ``scheduled - processed - pending`` at zero hot-path cost.
+        """
+        return self._sequence - self._processed_events - self.pending_events
+
+    @property
+    def peak_heap_size(self) -> int:
+        """Largest heap length :meth:`run` has observed (including cancelled
+        entries awaiting lazy deletion) -- the queue's memory high-water mark.
+        Sampled once per fired event, so spikes *within* one callback's
+        scheduling burst are seen at the next event boundary."""
+        return self._peak_heap_size
 
     @property
     def queued_events(self) -> int:
@@ -241,6 +267,12 @@ class Simulator:
         budget = math.inf if max_events is None else max_events
         heap = self._heap
         pop = heappop
+        # Peak tracking lives in a local (one len+compare per fired event);
+        # sampled at event boundaries, where callback scheduling bursts from
+        # the previous event are already in the heap.
+        peak = self._peak_heap_size
+        if len(heap) > peak:
+            peak = len(heap)
         try:
             while heap:
                 if self._stopped:
@@ -269,6 +301,9 @@ class Simulator:
                 else:
                     event.callback(*event.args)
                 fired_this_run += 1
+                heap_len = len(heap)
+                if heap_len > peak:
+                    peak = heap_len
                 if fired_this_run >= budget:
                     break
             if until is not None and not self._stopped and self.now < until:
@@ -282,6 +317,7 @@ class Simulator:
                     self.now = until
         finally:
             self._processed_events += fired_this_run
+            self._peak_heap_size = peak
             self._running = False
         return self.now
 

@@ -1,0 +1,204 @@
+"""Tests for the metrics registry, the adapters, and counters-on-RunMetrics.
+
+Covers the ISSUE-6 registry pillar: instrument semantics, snapshot
+flattening, the duck-typed stats adapters on a real smoke run, the engine's
+new derived counters, and the counters dict's trip through the orchestrator
+serialization (schema v4).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.config import smoke_scale
+from repro.experiments.metrics import RunMetrics, average_metrics
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import rate_sweep_workload
+from repro.obs.adapters import collect_run_counters, stats_as_mapping
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.orchestrator.jobs import SCHEMA_VERSION, metrics_from_dict, metrics_to_dict
+from repro.query.workload import generate_queries
+from repro.sim.engine import Simulator
+
+
+class TestInstruments:
+    def test_counter_increments_and_rejects_negatives(self) -> None:
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self) -> None:
+        gauge = Gauge("g")
+        gauge.set(5.0)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+
+    def test_histogram_summary(self) -> None:
+        histogram = Histogram("h")
+        histogram.observe_many([2.0, 4.0, 9.0])
+        assert histogram.count == 3
+        assert histogram.sum == 15.0
+        assert histogram.mean == 5.0
+        assert (histogram.min, histogram.max) == (2.0, 9.0)
+
+    def test_empty_histogram_mean_is_zero(self) -> None:
+        assert Histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self) -> None:
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_kind_mismatch_raises(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_count_from_sums_across_calls(self) -> None:
+        registry = MetricsRegistry()
+        registry.count_from("mac", {"frames_sent": 3, "acks_sent": 1})
+        registry.count_from("mac", {"frames_sent": 2})
+        snapshot = registry.snapshot()
+        assert snapshot["mac.frames_sent"] == 5.0
+        assert snapshot["mac.acks_sent"] == 1.0
+
+    def test_snapshot_flattens_and_sorts(self) -> None:
+        registry = MetricsRegistry()
+        registry.gauge("z").set(1.0)
+        registry.counter("a").inc()
+        registry.histogram("m").observe_many([1.0, 3.0])
+        snapshot = registry.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["m.count"] == 2.0
+        assert snapshot["m.sum"] == 4.0
+        assert snapshot["m.mean"] == 2.0
+        assert snapshot["m.min"] == 1.0
+        assert snapshot["m.max"] == 3.0
+
+    def test_empty_histogram_omits_min_max(self) -> None:
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        snapshot = registry.snapshot()
+        assert "h.min" not in snapshot and "h.max" not in snapshot
+        assert snapshot["h.count"] == 0.0
+
+
+class TestStatsAdapters:
+    def test_as_dict_objects_and_dataclasses(self) -> None:
+        from repro.core.shaper import ShaperStats
+        from repro.net.channel import ChannelStats
+
+        channel = ChannelStats()
+        channel.transmissions = 7
+        assert stats_as_mapping(channel)["transmissions"] == 7.0
+        shaper = ShaperStats(reports_observed=3)
+        assert stats_as_mapping(shaper)["reports_observed"] == 3.0
+
+    def test_unknown_objects_yield_empty(self) -> None:
+        assert stats_as_mapping(None) == {}
+        assert stats_as_mapping(object()) == {}
+
+    def test_engine_counters_without_models(self) -> None:
+        sim = Simulator(seed=1)
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        cancelled = sim.schedule_at(10.0, lambda: None)
+        cancelled.cancel()
+        sim.run()
+        counters = collect_run_counters(sim, wall_seconds=0.5)
+        assert counters["engine.events_processed"] == 5.0
+        assert counters["engine.events_scheduled"] == 6.0
+        assert counters["engine.events_cancelled"] == 1.0
+        assert counters["engine.peak_heap_size"] >= 5.0
+        assert counters["run.wall_seconds"] == 0.5
+        # The queue drains at t=4.0 (the cancelled t=10 event never fires).
+        assert counters["engine.sim_time"] == 4.0
+        assert counters["run.wall_seconds_per_sim_second"] == pytest.approx(0.125)
+
+
+class TestEngineAccounting:
+    def test_event_identity_scheduled_equals_processed_pending_cancelled(self) -> None:
+        sim = Simulator(seed=0)
+        sim.schedule_at(1.0, lambda: None)
+        live = sim.schedule_at(50.0, lambda: None)  # stays pending
+        dead = sim.schedule_at(2.0, lambda: None)
+        dead.cancel()
+        sim.run(until=10.0)
+        assert sim.scheduled_events == 3
+        assert sim.processed_events == 1
+        assert sim.pending_events == 1
+        assert sim.cancelled_events == 1
+        assert (
+            sim.scheduled_events
+            == sim.processed_events + sim.pending_events + sim.cancelled_events
+        )
+        assert not live.cancelled
+
+    def test_peak_heap_size_tracks_high_water_mark(self) -> None:
+        sim = Simulator(seed=0)
+
+        def burst() -> None:
+            for i in range(10):
+                sim.schedule_in(1.0 + i, lambda: None)
+
+        sim.schedule_at(0.5, burst)
+        assert sim.peak_heap_size == 0  # run() has not observed anything yet
+        sim.run()
+        assert sim.peak_heap_size == 10
+
+
+class TestCountersOnRunMetrics:
+    @pytest.fixture(scope="class")
+    def smoke_metrics(self) -> RunMetrics:
+        scenario = smoke_scale()
+        queries = generate_queries(rate_sweep_workload(2.0), seed=2)
+        metrics, _ = run_single(scenario, "DTS-SS", queries, 2)
+        return metrics
+
+    def test_real_run_populates_all_layers(self, smoke_metrics: RunMetrics) -> None:
+        counters = smoke_metrics.counters
+        for prefix in ("engine.", "channel.", "mac.", "shaper.", "safe_sleep.", "query_service."):
+            assert any(key.startswith(prefix) for key in counters), prefix
+        assert counters["engine.events_processed"] > 0
+        assert counters["engine.peak_heap_size"] > 0
+        assert counters["run.wall_seconds"] > 0
+        assert counters["channel.transmissions"] == smoke_metrics.channel_stats["transmissions"]
+
+    def test_counters_survive_schema_v4_round_trip(self, smoke_metrics: RunMetrics) -> None:
+        assert SCHEMA_VERSION == 4
+        restored = metrics_from_dict(json.loads(json.dumps(metrics_to_dict(smoke_metrics))))
+        assert restored.counters == smoke_metrics.counters
+        assert restored == smoke_metrics
+
+    def test_v3_record_without_counters_still_loads(self, smoke_metrics: RunMetrics) -> None:
+        data = metrics_to_dict(smoke_metrics)
+        del data["counters"]
+        assert metrics_from_dict(data).counters == {}
+
+    def test_equality_ignores_wall_clock_counters(self, smoke_metrics: RunMetrics) -> None:
+        import dataclasses
+
+        twin = dataclasses.replace(smoke_metrics)
+        twin.counters = dict(smoke_metrics.counters)
+        twin.counters["run.wall_seconds"] = 999.0
+        assert twin == smoke_metrics  # outcome equality, not measurement cost
+
+    def test_average_metrics_merges_counters_by_mean(self, smoke_metrics: RunMetrics) -> None:
+        import dataclasses
+
+        a = dataclasses.replace(smoke_metrics)
+        b = dataclasses.replace(smoke_metrics)
+        a.counters = {"engine.events_processed": 100.0, "run.wall_seconds": 2.0}
+        b.counters = {"engine.events_processed": 300.0, "only_in_b": 4.0}
+        merged = average_metrics([a, b])
+        assert merged.counters["engine.events_processed"] == 200.0
+        assert merged.counters["run.wall_seconds"] == 2.0  # keys average where present
+        assert merged.counters["only_in_b"] == 4.0

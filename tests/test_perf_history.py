@@ -1,0 +1,367 @@
+"""Tests for the perf-history store, the regression gate, and the perf CLI.
+
+Covers the ISSUE-6 history pillar and its acceptance criteria: the
+append-only JSONL store (atomicity, corruption tolerance, resolve), the
+statistical check flagging a synthetic ~1.3x slowdown against >= 3
+fabricated samples (with the 2x-floor fallback below that), the
+``layer_breakdown`` profile diff naming the layer that moved, the
+trajectory figure, and the ``repro perf`` CLI surface end to end.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.history import (
+    HISTORY_SCHEMA_VERSION,
+    PerfEntry,
+    PerfHistory,
+    atomic_write_text,
+    entry_from_bench,
+    host_fingerprint,
+)
+from repro.obs.report import check_regression, diff_breakdown, trajectory_figure
+
+HOST = {"fingerprint": "deadbeef0001", "system": "Linux"}
+OTHER_HOST = {"fingerprint": "cafecafe0002", "system": "Linux"}
+
+
+def make_entry(
+    commit: str,
+    cells: dict,
+    *,
+    host: dict = HOST,
+    breakdown: dict = None,
+    higher_is_better: bool = True,
+) -> PerfEntry:
+    return PerfEntry(
+        bench="hotpath" if higher_is_better else "orchestrator",
+        commit=commit,
+        host=dict(host),
+        cells=dict(cells),
+        higher_is_better=higher_is_better,
+        layer_breakdown=breakdown,
+        recorded_unix=0.0,
+    )
+
+
+@pytest.fixture()
+def history(tmp_path: Path) -> PerfHistory:
+    return PerfHistory(tmp_path / "perf_history.jsonl")
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path: Path) -> None:
+        path = tmp_path / "file.json"
+        atomic_write_text(path, "one")
+        atomic_write_text(path, "two")
+        assert path.read_text() == "two"
+        # No temp files left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["file.json"]
+
+
+class TestPerfHistory:
+    def test_append_and_load_round_trip(self, history: PerfHistory) -> None:
+        entry = make_entry("abc1234", {"kernel": 100.0}, breakdown={"engine": 0.5})
+        history.append(entry)
+        loaded = history.entries(bench="hotpath")
+        assert len(loaded) == 1
+        assert loaded[0] == entry
+
+    def test_append_never_rewrites_existing_entries(self, history: PerfHistory) -> None:
+        history.append(make_entry("aaa", {"kernel": 1.0}))
+        first_line = history.path.read_text().splitlines()[0]
+        history.append(make_entry("bbb", {"kernel": 2.0}))
+        lines = history.path.read_text().splitlines()
+        assert lines[0] == first_line
+        assert len(lines) == 2
+
+    def test_corrupt_and_foreign_schema_lines_are_skipped(self, history: PerfHistory) -> None:
+        history.append(make_entry("aaa", {"kernel": 1.0}))
+        with history.path.open("a", encoding="utf-8") as handle:
+            handle.write("{truncated\n")
+            foreign = {"schema": HISTORY_SCHEMA_VERSION + 1, "bench": "hotpath"}
+            handle.write(json.dumps(foreign) + "\n")
+        history.append(make_entry("bbb", {"kernel": 2.0}))
+        assert [entry.commit for entry in history.entries()] == ["aaa", "bbb"]
+
+    def test_resolve_by_negative_index_and_commit_prefix(self, history: PerfHistory) -> None:
+        history.append(make_entry("abc1234", {"kernel": 1.0}))
+        history.append(make_entry("def5678", {"kernel": 2.0}))
+        assert history.resolve("-1").commit == "def5678"
+        assert history.resolve("-2").commit == "abc1234"
+        assert history.resolve("abc").cells["kernel"] == 1.0
+        with pytest.raises(LookupError):
+            history.resolve("nosuch")
+        with pytest.raises(LookupError):
+            history.resolve("-3")
+
+    def test_fingerprint_filter(self, history: PerfHistory) -> None:
+        history.append(make_entry("aaa", {"kernel": 1.0}, host=HOST))
+        history.append(make_entry("bbb", {"kernel": 2.0}, host=OTHER_HOST))
+        assert len(history.entries(fingerprint=HOST["fingerprint"])) == 1
+        samples = history.cell_samples("kernel", bench="hotpath", fingerprint=HOST["fingerprint"])
+        assert [value for _entry, value in samples] == [1.0]
+
+
+class TestEntryFromBench:
+    def test_hotpath_flattens_nested_cells(self) -> None:
+        payload = {
+            "kernel": {"events_per_sec": 1000.0},
+            "paper_uniform": {
+                "DTS-SS": {"events_per_sec": 50.0, "wall_seconds": 2.0},
+                "parallel": {"events_per_sec": 80.0},
+            },
+            "layer_breakdown": {"fractions": {"engine": 0.4, "mac": 0.6}},
+            "quick_mode": True,
+        }
+        entry = entry_from_bench("hotpath", payload, commit="abc")
+        assert entry.cells == {
+            "kernel": 1000.0,
+            "paper_uniform/DTS-SS": 50.0,
+            "paper_uniform/parallel": 80.0,
+        }
+        assert entry.layer_breakdown == {"engine": 0.4, "mac": 0.6}
+        assert entry.higher_is_better
+        assert entry.meta["quick_mode"] is True
+
+    def test_orchestrator_is_lower_is_better(self) -> None:
+        payload = {
+            "serial_seconds": 10.0,
+            "parallel_seconds": 4.0,
+            "cold_store_seconds": 11.0,
+            "warm_store_seconds": 1.0,
+            "speedup": 2.5,
+        }
+        entry = entry_from_bench("orchestrator", payload, commit="abc")
+        assert not entry.higher_is_better
+        assert entry.unit == "seconds"
+        assert entry.cells["parallel_seconds"] == 4.0
+
+    def test_unknown_bench_raises(self) -> None:
+        with pytest.raises(ValueError):
+            entry_from_bench("nope", {})
+
+    def test_host_fingerprint_is_stable(self) -> None:
+        assert host_fingerprint()["fingerprint"] == host_fingerprint()["fingerprint"]
+        assert len(host_fingerprint()["fingerprint"]) == 12
+
+
+def fabricate_history(history: PerfHistory, values, cell: str = "kernel") -> None:
+    """Append one same-host hotpath entry per value."""
+    for index, value in enumerate(values):
+        history.append(make_entry(f"c{index:07d}", {cell: value}))
+
+
+class TestCheckRegression:
+    def test_flags_1_3x_slowdown_against_three_samples(self, history: PerfHistory) -> None:
+        # Acceptance criterion: a ~1.3x slowdown (current = mean / 1.3) must
+        # be flagged once >= 3 samples with realistic (~2%) spread exist.
+        fabricate_history(history, [1000.0, 985.0, 1015.0])
+        report = check_regression(
+            history,
+            {"kernel": 1000.0 / 1.3},
+            bench="hotpath",
+            fingerprint=HOST["fingerprint"],
+        )
+        (finding,) = report.findings
+        assert finding.method == "statistical"
+        assert finding.regressed
+        assert not report.ok
+
+    def test_passes_on_comparable_measurement(self, history: PerfHistory) -> None:
+        fabricate_history(history, [1000.0, 985.0, 1015.0])
+        report = check_regression(
+            history, {"kernel": 990.0}, bench="hotpath", fingerprint=HOST["fingerprint"]
+        )
+        assert report.ok
+        assert report.findings[0].method == "statistical"
+
+    def test_below_three_samples_falls_back_to_floor(self, history: PerfHistory) -> None:
+        fabricate_history(history, [1000.0, 990.0])
+        flagged = check_regression(
+            history, {"kernel": 400.0}, bench="hotpath", fingerprint=HOST["fingerprint"]
+        )
+        assert flagged.findings[0].method == "floor"
+        assert not flagged.ok  # below 0.5x mean
+        passed = check_regression(
+            history, {"kernel": 700.0}, bench="hotpath", fingerprint=HOST["fingerprint"]
+        )
+        assert passed.ok  # a 1.3x dip sails through the crude floor
+
+    def test_no_history_reports_unchecked(self, history: PerfHistory) -> None:
+        report = check_regression(history, {"kernel": 5.0}, bench="hotpath")
+        assert report.ok
+        assert report.findings[0].method == "no-history"
+
+    def test_lower_is_better_direction(self, history: PerfHistory) -> None:
+        for index, value in enumerate([10.0, 10.2, 9.8]):
+            history.append(
+                make_entry(f"c{index}", {"serial_seconds": value}, higher_is_better=False)
+            )
+        report = check_regression(
+            history,
+            {"serial_seconds": 13.0},  # 1.3x slower wall-clock
+            bench="orchestrator",
+            higher_is_better=False,
+            fingerprint=HOST["fingerprint"],
+        )
+        assert not report.ok
+        faster = check_regression(
+            history,
+            {"serial_seconds": 9.9},
+            bench="orchestrator",
+            higher_is_better=False,
+            fingerprint=HOST["fingerprint"],
+        )
+        assert faster.ok
+
+    def test_exclude_commit_keeps_sample_from_vouching_for_itself(
+        self, history: PerfHistory
+    ) -> None:
+        # CI appends the fresh measurement before gating: with the slow
+        # sample in its own baseline the mean drifts down and the std
+        # inflates enough to mask the regression, so `check` must exclude
+        # samples recorded at the commit under test.
+        fabricate_history(history, [1000.0, 985.0, 1015.0])
+        current = 1000.0 / 1.3
+        history.append(make_entry("currentsha", {"kernel": current}))
+        masked = check_regression(
+            history, {"kernel": current}, bench="hotpath", fingerprint=HOST["fingerprint"]
+        )
+        assert masked.findings[0].samples == 4  # self-inclusion without the guard
+        report = check_regression(
+            history,
+            {"kernel": current},
+            bench="hotpath",
+            fingerprint=HOST["fingerprint"],
+            exclude_commit="currentsha",
+        )
+        assert report.findings[0].samples == 3
+        assert not report.ok
+
+    def test_cross_host_fallback_when_fingerprint_is_sparse(self, history: PerfHistory) -> None:
+        fabricate_history(history, [1000.0, 985.0, 1015.0])
+        report = check_regression(
+            history,
+            {"kernel": 500.0},
+            bench="hotpath",
+            fingerprint="unseen-host-fp",  # no samples for this host
+        )
+        # Falls back to the cross-host samples rather than skipping the cell.
+        assert report.findings[0].samples == 3
+        assert not report.ok
+
+
+class TestDiffAndTrajectory:
+    def test_diff_names_the_layer_that_moved(self, history: PerfHistory) -> None:
+        a = make_entry(
+            "aaa", {"kernel": 1000.0}, breakdown={"engine": 0.30, "mac": 0.30, "protocol": 0.40}
+        )
+        b = make_entry(
+            "bbb", {"kernel": 700.0}, breakdown={"engine": 0.29, "mac": 0.48, "protocol": 0.23}
+        )
+        diff = diff_breakdown(a, b)
+        assert diff["moved_layer"] == "mac"
+        assert diff["moved_delta"] == pytest.approx(0.18)
+        assert diff["cells"]["kernel"]["ratio"] == pytest.approx(0.7)
+
+    def test_diff_without_breakdowns(self) -> None:
+        diff = diff_breakdown(make_entry("a", {"kernel": 1.0}), make_entry("b", {"kernel": 2.0}))
+        assert diff["moved_layer"] is None
+
+    def test_trajectory_normalizes_to_first_sample(self, history: PerfHistory) -> None:
+        fabricate_history(history, [1000.0, 1200.0, 1500.0])
+        figure = trajectory_figure(history, bench="hotpath")
+        (series,) = figure.series
+        assert series.name == "kernel"
+        assert series.x == [1.0, 2.0, 3.0]
+        assert series.y == pytest.approx([1.0, 1.2, 1.5])
+        assert figure.notes["kernel latest_vs_first"] == pytest.approx(1.5)
+        assert "speedup" in figure.to_table()
+
+    def test_trajectory_inverts_lower_is_better(self, history: PerfHistory) -> None:
+        for index, value in enumerate([10.0, 5.0]):
+            history.append(
+                make_entry(f"c{index}", {"serial_seconds": value}, higher_is_better=False)
+            )
+        figure = trajectory_figure(history, bench="orchestrator")
+        assert figure.series[0].y == pytest.approx([1.0, 2.0])  # halved time = 2x speedup
+
+    def test_empty_history_raises(self, history: PerfHistory) -> None:
+        with pytest.raises(LookupError):
+            trajectory_figure(history)
+
+
+class TestPerfCli:
+    def _bench_file(self, tmp_path: Path, kernel: float) -> Path:
+        payload = {
+            "kernel": {"events_per_sec": kernel},
+            "layer_breakdown": {"fractions": {"engine": 0.5, "mac": 0.5}},
+        }
+        path = tmp_path / "BENCH_hotpath.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def _perf(self, history_path: Path, *argv: str) -> tuple:
+        out = io.StringIO()
+        code = cli_main(["perf", "--history", str(history_path), *argv], out=out)
+        return code, out.getvalue()
+
+    def test_record_report_diff_check_end_to_end(self, tmp_path: Path) -> None:
+        history_path = tmp_path / "history.jsonl"
+        for index, kernel in enumerate([1000.0, 995.0, 1010.0]):
+            bench = self._bench_file(tmp_path, kernel)
+            code, text = self._perf(
+                history_path, "record", "--from-json", str(bench), "--commit", f"c{index}"
+            )
+            assert code == 0
+            assert "recorded hotpath entry" in text
+        assert len(PerfHistory(history_path)) == 3
+
+        code, text = self._perf(history_path, "report")
+        assert code == 0
+        assert "kernel" in text and "samples:" in text and "c2" in text
+
+        code, text = self._perf(history_path, "diff", "-2", "-1")
+        assert code == 0
+        assert "moved most" in text and "kernel" in text
+
+        # A fresh payload at historical speed passes the gate...
+        good = self._bench_file(tmp_path, 1002.0)
+        code, text = self._perf(
+            history_path, "check", "--from-json", str(good), "--any-host"
+        )
+        assert code == 0
+        assert "perf check passed" in text
+        # ... and a ~1.3x slowdown fails it with a statistical finding.
+        bad = self._bench_file(tmp_path, 1000.0 / 1.3)
+        code, text = self._perf(
+            history_path, "check", "--from-json", str(bad), "--any-host"
+        )
+        assert code == 1
+        assert "REGRESSION" in text and "statistical" in text
+
+    def test_check_on_missing_payload_exits_nonzero(self, tmp_path: Path) -> None:
+        with pytest.raises(SystemExit):
+            self._perf(tmp_path / "h.jsonl", "check", "--from-json", str(tmp_path / "missing.json"))
+
+    def test_report_on_empty_history_fails_cleanly(self, tmp_path: Path) -> None:
+        code, _text = self._perf(tmp_path / "empty.jsonl", "report")
+        assert code == 2
+
+
+class TestSeededHistory:
+    def test_repo_history_has_day_one_trajectory(self) -> None:
+        history = PerfHistory(Path(__file__).resolve().parent.parent / "perf_history.jsonl")
+        hotpath = history.entries(bench="hotpath")
+        orchestrator = history.entries(bench="orchestrator")
+        assert hotpath and orchestrator  # seeded from the committed BENCH_*.json
+        assert "kernel" in hotpath[0].cells
+        assert hotpath[0].layer_breakdown  # diffable from day one
+        assert "serial_seconds" in orchestrator[0].cells
