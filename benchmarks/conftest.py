@@ -81,7 +81,7 @@ def _append_history(bench: str, results: dict) -> None:
         entry = entry_from_bench(bench, results)
         history.append(entry)
         print(f"perf history: recorded {bench} entry {entry.label()} -> {history.path}")
-    except Exception as error:  # noqa: BLE001 - history is best-effort
+    except Exception as error:  # history persistence is best-effort
         # Never fail the benchmark session over history bookkeeping; the
         # BENCH_*.json snapshot is already on disk.
         print(f"perf history: failed to record {bench} entry: {error}", file=sys.stderr)

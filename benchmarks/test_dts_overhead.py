@@ -23,7 +23,7 @@ def test_dts_overhead(scenario, run_once) -> None:
     print_figure(figure)
 
     series = figure.get("DTS-SS")
-    for rate, bits in zip(series.x, series.y):
+    for rate, bits in zip(series.x, series.y, strict=True):
         assert 0.0 <= bits < 8.0, f"overhead at {rate} Hz is {bits:.2f} bits/report"
     # Overhead amortizes as the rate (and thus the number of reports) grows.
     assert series.value_at(max(series.x)) <= series.value_at(min(series.x)) + 1.0

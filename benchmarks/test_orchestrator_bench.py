@@ -61,7 +61,7 @@ def test_orchestrator_sweep_throughput(
     warm, warm_s = _timed(lambda: run_experiments(specs, workers=1, store=store))
 
     # Correctness: all execution modes agree bit-for-bit.
-    for a, b, c in zip(serial, parallel, warm):
+    for a, b, c in zip(serial, parallel, warm, strict=True):
         assert a.metrics.average_duty_cycle == b.metrics.average_duty_cycle
         assert a.metrics.average_duty_cycle == c.metrics.average_duty_cycle
         assert a.metrics.average_query_latency == b.metrics.average_query_latency

@@ -33,9 +33,12 @@ setup(
             "hypothesis",
             "scipy",
         ],
-        # Lint tooling used by the CI `lint` job.
+        # Lint tooling used by the CI `lint` and `lint-determinism` jobs.
+        # (reprolint itself ships inside the package -- `repro lint` needs
+        # nothing beyond the stdlib.)
         "lint": [
             "ruff",
+            "mypy",
         ],
     },
 )

@@ -173,7 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     figure_parser = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
-    figure_parser.add_argument("name", choices=sorted(FIGURES) + ["headline"])
+    figure_parser.add_argument("name", choices=[*sorted(FIGURES), "headline"])
 
     compare_parser = subparsers.add_parser(
         "compare", help="run every protocol on one workload and compare them"
@@ -206,9 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list available figures, protocols and scales")
 
+    from .lint.cli import add_lint_parser
     from .obs.perfcli import add_perf_parser
 
     add_perf_parser(subparsers)
+    add_lint_parser(subparsers)
     return parser
 
 
@@ -316,7 +318,7 @@ def _run_scenarios_run(
         family = get_family(name)
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
-        raise SystemExit(2)
+        raise SystemExit(2) from None
     result = run_family(
         family,
         base=scenario,
@@ -358,6 +360,11 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         from .obs.perfcli import run_perf
 
         return run_perf(args, out)
+    if args.command == "lint":
+        # Static analysis likewise needs no scenario or orchestrator state.
+        from .lint.cli import run_lint
+
+        return run_lint(args, out)
     scenario = SCALES[args.scale]()
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")

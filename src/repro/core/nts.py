@@ -90,7 +90,9 @@ class NoTrafficShaping(TrafficShaper):
         super().handle_missing_children(query_id, report_index, missing, period_start)
         state = self._state(query_id)
         next_time = self._expected_time(query_id, report_index + 1)
-        for child in missing:
+        # Sorted: `missing` is a set, and each table write notifies the Safe
+        # Sleep listener, so the write order is observable behaviour.
+        for child in sorted(missing):
             if child in state.children:
                 self._table.set_next_receive(query_id, child, next_time)
         if not state.is_root:

@@ -201,7 +201,9 @@ class TrafficShaper(abc.ABC):
         state = self._queries.get(query_id)
         if state is None:
             return
-        for child in missing:
+        # Sorted: `missing` is a set, and the failure callback below is
+        # order-observable (it can re-enter the service and schedule events).
+        for child in sorted(missing):
             count = state.consecutive_misses.get(child, 0) + 1
             state.consecutive_misses[child] = count
             if count >= self._max_consecutive_misses and self._on_child_failure is not None:

@@ -127,7 +127,9 @@ class StaticTrafficShaper(TrafficShaper):
         """Roll missing children's schedule-based expectations to the next period."""
         super().handle_missing_children(query_id, report_index, missing, period_start)
         state = self._state(query_id)
-        for child in missing:
+        # Sorted: `missing` is a set, and each table write notifies the Safe
+        # Sleep listener, so the write order is observable behaviour.
+        for child in sorted(missing):
             if child in state.children:
                 self._table.set_next_receive(
                     query_id, child, self.expected_receive_time(query_id, child, report_index + 1)

@@ -99,7 +99,7 @@ class TimingTable:
 
     def subscribe(self, listener: Callable[[], None]) -> None:
         """Register ``listener`` to be called after every table change."""
-        self._listeners = self._listeners + [listener]
+        self._listeners = [*self._listeners, listener]
 
     def unsubscribe(self, listener: Callable[[], None]) -> None:
         """Remove ``listener`` (idempotent; safe to call mid-notification).

@@ -85,7 +85,7 @@ def figure2_deadline_sweep(
     results = run_experiments(
         specs, workers=jobs, store=store, progress=progress, label="fig2"
     )
-    for deadline, result in zip(sweep, results):
+    for deadline, result in zip(sweep, results, strict=True):
         duty.x.append(deadline)
         duty.y.append(_percent(result.metrics.average_duty_cycle))
         latency.x.append(deadline)
@@ -100,7 +100,7 @@ def figure2_deadline_sweep(
     # Locate the knee: the deadline past which latency keeps growing while
     # the duty cycle has stopped improving appreciably.
     best_duty = min(duty.y)
-    for x, y in zip(duty.x, duty.y):
+    for x, y in zip(duty.x, duty.y, strict=True):
         if y <= best_duty * 1.1:
             figure.notes["knee_deadline_s"] = x
             break
@@ -145,7 +145,7 @@ def _protocol_sweep(
         specs, workers=jobs, store=store, progress=progress, label=figure_id
     )
     by_protocol: Dict[str, Series] = {}
-    for (protocol, x), result in zip(grid, results):
+    for (protocol, x), result in zip(grid, results, strict=True):
         series = by_protocol.get(protocol)
         if series is None:
             series = Series(name=protocol, x=[], y=[])
@@ -243,7 +243,7 @@ def figure5_duty_cycle_by_rank(
     results = run_experiments(
         specs, workers=jobs, store=store, progress=progress, label="Figure 5"
     )
-    for protocol, result in zip(protocols, results):
+    for protocol, result in zip(protocols, results, strict=True):
         by_rank = result.metrics.duty_cycle_by_rank
         figure.series.append(
             Series(
@@ -349,7 +349,7 @@ def figure8_sleep_interval_histogram(
     results = run_experiments(
         specs, workers=jobs, store=store, progress=progress, label="Figure 8"
     )
-    for protocol, result in zip(protocols, results):
+    for protocol, result in zip(protocols, results, strict=True):
         histogram = result.metrics.sleep_interval_histogram(
             bin_width=bin_width, max_value=max_interval
         )
@@ -404,7 +404,7 @@ def figure9_break_even_time(
         specs, workers=jobs, store=store, progress=progress, label="Figure 9"
     )
     by_tbe: Dict[float, Series] = {}
-    for (t_be, rate), result in zip(grid, results):
+    for (t_be, rate), result in zip(grid, results, strict=True):
         series = by_tbe.get(t_be)
         if series is None:
             series = Series(name=f"TBE={t_be * 1e3:g}ms", x=[], y=[])
@@ -439,7 +439,7 @@ def dts_overhead_vs_rate(
     results = run_experiments(
         specs, workers=jobs, store=store, progress=progress, label="overhead"
     )
-    for rate, result in zip(rates, results):
+    for rate, result in zip(rates, results, strict=True):
         series.x.append(rate)
         series.y.append(result.extras.get("overhead_bits_per_report", 0.0))
     return FigureResult(

@@ -27,7 +27,7 @@ class Series:
 
     def value_at(self, x: float) -> Optional[float]:
         """The y-value at ``x``, or ``None`` when that x was not measured."""
-        for xi, yi in zip(self.x, self.y):
+        for xi, yi in zip(self.x, self.y, strict=True):
             if xi == x:
                 return yi
         return None
@@ -63,7 +63,7 @@ class FigureResult:
 
     def to_table(self, float_format: str = "{:.4g}") -> str:
         """Render the figure as an aligned plain-text table."""
-        header = [self.x_label] + self.series_names()
+        header = [self.x_label, *self.series_names()]
         rows: List[List[str]] = []
         for x in self.x_values():
             row = [float_format.format(x)]
@@ -92,10 +92,12 @@ class FigureResult:
 
 def comparison_table(results: Dict[str, Dict[str, float]], metric_names: Sequence[str]) -> str:
     """Render a {row-label: {metric: value}} mapping as an aligned table."""
-    header = ["protocol"] + list(metric_names)
+    header = ["protocol", *metric_names]
     rows = []
     for label, metrics in results.items():
-        rows.append([label] + ["{:.4g}".format(metrics.get(name, float("nan"))) for name in metric_names])
+        rows.append(
+            [label, *("{:.4g}".format(metrics.get(name, float("nan"))) for name in metric_names)]
+        )
     widths = [
         max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
         for i in range(len(header))

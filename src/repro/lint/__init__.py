@@ -1,0 +1,51 @@
+"""reprolint: AST-based determinism and hot-path invariant checks.
+
+Every guarantee the reproduction leans on -- bit-for-bit parallel==serial
+sweeps, run-twice identity, golden-parity hot-path rewrites, draw-order
+independent per-link RNG streams -- is a *convention*.  The golden tests
+catch violations after the fact; this package names the hazard at the line
+that introduces it, before a single simulation runs.
+
+The subsystem is pluggable:
+
+* :mod:`repro.lint.base` -- the :class:`~repro.lint.base.Checker` protocol
+  and the rule registry,
+* :mod:`repro.lint.layers` -- the layer map separating simulation code
+  (``sim``/``net``/``mac``/``radio``/``routing``/``query``/``core``/
+  ``baselines``/``scenarios``) from orchestration code (``orchestrator``/
+  ``obs``/``experiments``/``cli``), plus the hot-path module list,
+* :mod:`repro.lint.rules` -- the shipped REP001..REP007 rules,
+* :mod:`repro.lint.runner` -- file walking, suppression handling
+  (``# reprolint: disable=REP0xx reason=...``) and the meta-rule REP000,
+* :mod:`repro.lint.reporters` -- text and JSON output,
+* :mod:`repro.lint.cli` -- the ``repro lint`` command (also runnable as
+  ``python -m repro.lint``).
+
+Runs in three places: ``python -m repro.cli lint`` for developers,
+``tests/test_lint.py`` as a tier-1 gate asserting the tree is clean, and
+the ``lint-determinism`` CI job which uploads the JSON report.
+"""
+
+from __future__ import annotations
+
+from .base import Checker, all_checkers, get_checker, register
+from .findings import Finding
+from .layers import HOT_PATH_MODULES, Layer, layer_of
+from .reporters import render_json, render_text
+from .runner import LintResult, lint_paths, lint_source
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "HOT_PATH_MODULES",
+    "Layer",
+    "LintResult",
+    "all_checkers",
+    "get_checker",
+    "layer_of",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+]

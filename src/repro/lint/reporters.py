@@ -1,0 +1,38 @@
+"""Text and JSON renderings of a lint run."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .runner import LintResult
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    if result.findings:
+        counts = ", ".join(f"{code}: {count}" for code, count in result.counts.items())
+        lines.append("")
+        lines.append(
+            f"{len(result.findings)} finding(s) in {result.files_checked} file(s) ({counts})"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {result.files_checked} file(s)")
+    return "\n".join(lines)
+
+
+def report_dict(result: LintResult) -> Dict[str, Any]:
+    """The JSON report's payload (also used by tests and CI tooling)."""
+    return {
+        "tool": "reprolint",
+        "files_checked": result.files_checked,
+        "clean": result.clean,
+        "counts": result.counts,
+        "findings": [finding.as_dict() for finding in result.findings],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    """Deterministic JSON report (sorted keys, stable finding order)."""
+    return json.dumps(report_dict(result), indent=2, sort_keys=True)

@@ -1,0 +1,12 @@
+"""The shipped reprolint rules.
+
+Importing this package registers every rule with the registry in
+:mod:`repro.lint.base`.  Each rule's class docstring documents the invariant
+it enforces, why the invariant exists, and which test or PR motivated it.
+"""
+
+from __future__ import annotations
+
+from . import hashseed, ordering, randomness, slots, tracing, wallclock
+
+__all__ = ["hashseed", "ordering", "randomness", "slots", "tracing", "wallclock"]

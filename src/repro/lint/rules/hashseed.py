@@ -1,0 +1,79 @@
+"""REP005: no PYTHONHASHSEED-dependent values in simulation control flow."""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..base import Checker, FileContext, register
+from ..findings import Finding
+from ..layers import Layer
+from ._ast_util import import_map, resolve_call_target
+
+
+@register
+class HashSeedChecker(Checker):
+    """No ``os.environ``, ``hash()``, or ``id()`` inside simulation layers.
+
+    **Invariant.** ``hash(str)`` is salted per process (PYTHONHASHSEED),
+    ``id()`` is an allocation address, and ``os.environ`` varies per host:
+    any of them reaching simulation control flow makes two identical runs
+    diverge across processes -- exactly what the cross-hash-seed
+    determinism test (``tests/test_hashseed_determinism.py``) executes two
+    subprocesses to rule out.  Configuration enters the simulation once,
+    through ``ScenarioConfig`` and the orchestrator, never ambiently
+    through the environment.
+
+    **Sanctioned idiom.** ``repro.sim.rng.derive_seed`` (SHA-256, stable
+    across processes and platforms) for hashing names into seeds; explicit
+    integer node/packet ids instead of ``id()``; orchestration-layer code
+    (benchmarks, CI plumbing) may read ``os.environ`` freely.
+    """
+
+    code = "REP005"
+    name = "no-hashseed-hazards"
+
+    def applies_to(self, context: FileContext) -> bool:
+        return context.layer is Layer.SIMULATION
+
+    def check(self, context: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        imports = import_map(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id in ("hash", "id"):
+                    findings.append(
+                        self.finding(
+                            context,
+                            node,
+                            f"built-in `{func.id}()` is process-dependent "
+                            "(PYTHONHASHSEED / allocation address); use "
+                            "`repro.sim.rng.derive_seed` or explicit ids",
+                        )
+                    )
+                    continue
+                # `os.environ.get(...)` is reported once, by the Attribute
+                # branch below catching the `os.environ` read inside it.
+                target = resolve_call_target(func, imports)
+                if target == "os.getenv":
+                    findings.append(
+                        self.finding(
+                            context,
+                            node,
+                            "environment read in a simulation layer; configuration "
+                            "flows through `ScenarioConfig`, not the environment",
+                        )
+                    )
+            elif isinstance(node, ast.Attribute) and node.attr == "environ":
+                base = node.value
+                if isinstance(base, ast.Name) and imports.get(base.id) == "os":
+                    findings.append(
+                        self.finding(
+                            context,
+                            node,
+                            "`os.environ` in a simulation layer; configuration "
+                            "flows through `ScenarioConfig`, not the environment",
+                        )
+                    )
+        return findings

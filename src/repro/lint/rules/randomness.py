@@ -1,0 +1,73 @@
+"""REP002: randomness only via the named streams of ``sim/rng.py``."""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..base import Checker, FileContext, register
+from ..findings import Finding
+from ._ast_util import import_map, resolve_call_target
+
+#: The one module allowed to touch ``random`` directly.
+_ALLOWED_FILES = frozenset({"sim/rng.py"})
+
+
+@register
+class RandomnessChecker(Checker):
+    """No module-level ``random.*`` functions, no unseeded ``Random()``.
+
+    **Invariant.** Every stochastic component draws from its own named
+    stream derived from the master seed (``repro.sim.rng.RandomStreams``).
+    The module-level ``random.*`` functions share one process-global state
+    seeded from OS entropy, so a single call anywhere perturbs every other
+    consumer and destroys run-twice identity; an unseeded
+    ``random.Random()`` is seeded from OS entropy too.  Stream independence
+    is what keeps per-link draws order-independent
+    (``tests/test_sim_trace_rng.py``, the PR 4 ``GilbertElliottLoss``
+    per-link streams) and experiments comparable across code revisions.
+
+    **Sanctioned idiom.** ``streams.get("mac.backoff.<node>")`` /
+    ``streams.fork(seed)`` from :mod:`repro.sim.rng`, whose own seeded
+    ``random.Random(derive_seed(...))`` construction is the allow-listed
+    implementation.  A *seeded* ``random.Random(value)`` elsewhere is
+    reproducible and therefore tolerated by this rule (the reviewer decides
+    whether it should be a named stream).
+    """
+
+    code = "REP002"
+    name = "no-global-random"
+
+    def applies_to(self, context: FileContext) -> bool:
+        return context.relative not in _ALLOWED_FILES
+
+    def check(self, context: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        imports = import_map(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, imports)
+            if target is None or not target.startswith("random."):
+                continue
+            tail = target[len("random.") :]
+            if tail in ("Random", "SystemRandom"):
+                if tail == "SystemRandom" or not node.args:
+                    findings.append(
+                        self.finding(
+                            context,
+                            node,
+                            f"`{target}()` without a derived seed; use a named "
+                            "stream from `repro.sim.rng.RandomStreams` instead",
+                        )
+                    )
+            elif "." not in tail:
+                findings.append(
+                    self.finding(
+                        context,
+                        node,
+                        f"module-level `{target}()` shares process-global RNG "
+                        "state; draw from a named `repro.sim.rng` stream",
+                    )
+                )
+        return findings

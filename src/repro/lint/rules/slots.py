@@ -1,0 +1,92 @@
+"""REP004: hot-path classes must declare ``__slots__``."""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..base import Checker, FileContext, register
+from ..findings import Finding
+from ._ast_util import class_declares_slots, decorator_info, dotted_name
+
+#: Base classes that manage their own storage (or are cold by construction).
+_EXEMPT_BASES = frozenset(
+    {
+        "Enum",
+        "IntEnum",
+        "StrEnum",
+        "Flag",
+        "IntFlag",
+        "Exception",
+        "BaseException",
+        "NamedTuple",
+        "TypedDict",
+        "Protocol",
+    }
+)
+
+
+def _is_exempt(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = dotted_name(base)
+        if name is None:
+            continue
+        tail = name.split(".")[-1]
+        if tail in _EXEMPT_BASES or tail.endswith("Error") or tail.endswith("Exception"):
+            return True
+    return False
+
+
+@register
+class SlotsChecker(Checker):
+    """Classes in hot-path modules must declare ``__slots__``.
+
+    **Invariant.** The modules in :data:`repro.lint.layers.HOT_PATH_MODULES`
+    (engine, events, channel, radio, duty-cycle/energy accounting, MAC,
+    shapers, timing table) allocate or touch objects per simulated event;
+    an instance ``__dict__`` costs memory per node at city scale and a dict
+    lookup per attribute access on the paths the PR 3/5 benchmarks showed
+    dominate (``BENCH_hotpath.json`` ``layer_breakdown``).  ``__slots__``
+    also turns attribute-name typos into hard errors, which the golden
+    tests then catch immediately instead of silently reading a stale
+    ``__dict__`` entry.
+
+    **Sanctioned idiom.** A ``__slots__`` tuple in the class body (see
+    ``Simulator``/``Event``), ``@dataclass(slots=True)`` (see
+    ``mac/stats.py``), or ``__slots__ = ()`` on stateless ABCs.  ``Enum``
+    and exception subclasses are exempt -- enums hold no per-instance
+    state and exceptions are off the hot path by definition.
+    """
+
+    code = "REP004"
+    name = "hot-path-slots"
+
+    def applies_to(self, context: FileContext) -> bool:
+        return context.hot_path
+
+    def check(self, context: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef) or _is_exempt(node):
+                continue
+            is_dataclass, slots_true = decorator_info(node)
+            if is_dataclass:
+                if not slots_true:
+                    findings.append(
+                        self.finding(
+                            context,
+                            node,
+                            f"hot-path dataclass `{node.name}` without "
+                            "`slots=True`; use `@dataclass(slots=True)`",
+                        )
+                    )
+            elif not class_declares_slots(node):
+                findings.append(
+                    self.finding(
+                        context,
+                        node,
+                        f"hot-path class `{node.name}` has no `__slots__`; "
+                        "declare one (or `()` for stateless bases)",
+                    )
+                )
+        return findings

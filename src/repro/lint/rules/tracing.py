@@ -1,0 +1,157 @@
+"""REP006/REP007: trace-emission guards and listener-list copy-on-write."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Set
+
+from ..base import Checker, FileContext, register
+from ..findings import Finding
+from ._ast_util import dotted_name
+
+#: Receivers that look like a trace recorder (``trace``, ``self._trace``,
+#: ``sim.trace`` ...).
+_TRACE_RECEIVER = re.compile(r"trace", re.IGNORECASE)
+
+#: Attribute names holding notification lists under the copy-on-write
+#: discipline (``_listeners``, ``_wake_listeners``, ``_sinks``, ...).
+_LISTENER_ATTR = re.compile(r"(listener|subscriber|sink)s$")
+
+#: In-place list mutators forbidden on listener lists.
+_MUTATORS = frozenset({"append", "remove", "extend", "insert", "clear", "pop", "sort", "reverse"})
+
+
+def _mentions_enabled(node: ast.AST, enabled_names: Set[str]) -> bool:
+    """Whether a guard test references recorder enablement."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+            return True
+        if isinstance(sub, ast.Name) and sub.id in enabled_names:
+            return True
+    return False
+
+
+@register
+class TraceGuardChecker(Checker):
+    """Hot-site trace emission must be guarded by the recorder-enabled check.
+
+    **Invariant.** ``TraceRecorder.emit`` takes its payload as ``**data``,
+    so the *caller* allocates a dict and evaluates every payload expression
+    before ``emit`` can early-out -- emission is only free-when-disabled if
+    the call site guards on ``trace.enabled`` first (the hot-path contract
+    documented in ``repro/sim/trace.py`` and relied on by the disabled-
+    recorder cells of ``benchmarks/test_hotpath_bench.py``).  Applies to
+    the hot-path modules only; cold sites (setup, failures, once-per-report
+    events) may call ``emit`` unconditionally.
+
+    **Sanctioned idiom.** ::
+
+        trace = sim.trace
+        if trace.enabled:
+            trace.emit(now, "radio.state", node=..., old=..., new=...)
+
+    or hoisting ``tracing = trace.enabled`` once per burst and guarding
+    each emit with ``if tracing:`` (the channel's pattern).
+    """
+
+    code = "REP006"
+    name = "guarded-trace-emit"
+
+    def applies_to(self, context: FileContext) -> bool:
+        return context.hot_path
+
+    def check(self, context: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        # Names assigned from an expression that reads `.enabled` anywhere in
+        # the file (scope-insensitive on purpose: a false "guarded" requires
+        # deliberately reusing such a name for something else).
+        enabled_names: Set[str] = set()
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Assign) and any(
+                isinstance(sub, ast.Attribute) and sub.attr == "enabled"
+                for sub in ast.walk(node.value)
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        enabled_names.add(target.id)
+
+        for node in ast.walk(context.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr != "emit":
+                continue
+            receiver = dotted_name(node.func.value)
+            if receiver is None or not _TRACE_RECEIVER.search(receiver):
+                continue
+            guarded = any(
+                isinstance(ancestor, (ast.If, ast.IfExp))
+                and _mentions_enabled(ancestor.test, enabled_names)
+                for ancestor in context.ancestors(node)
+            )
+            if not guarded:
+                findings.append(
+                    self.finding(
+                        context,
+                        node,
+                        f"unguarded `{receiver}.emit(...)` at a hot site; wrap in "
+                        "`if trace.enabled:` so payload construction is free "
+                        "when tracing is off",
+                    )
+                )
+        return findings
+
+
+@register
+class ListenerMutationChecker(Checker):
+    """Listener/sink lists must be rebound, never mutated in place.
+
+    **Invariant.** Notification loops (``TimingTable._notify``,
+    ``TraceRecorder.emit``, the radio's state-change fan-out) iterate the
+    listener list *without snapshotting it* -- that is what makes
+    notification allocation-free on the hot path.  The compensating
+    discipline is copy-on-write: registration and removal replace the list
+    (``self._listeners = self._listeners + [cb]``), so an in-flight
+    notification keeps iterating the old snapshot and un/subscribing from
+    inside a callback can never skip or double-deliver.  An in-place
+    ``append``/``remove`` would mutate the list mid-iteration -- the
+    failure mode fixed for reentrant child removal in PR 5 and pinned by
+    ``tests/test_timing_table.py`` / ``tests/test_trace_sinks.py``.
+
+    **Sanctioned idiom.** ``self._listeners = self._listeners + [cb]`` and
+    ``self._listeners = [x for x in self._listeners if x != cb]`` (see
+    ``TimingTable.subscribe`` / ``TraceRecorder.unsubscribe``).
+    """
+
+    code = "REP007"
+    name = "listener-copy-on-write"
+
+    def check(self, context: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr not in _MUTATORS:
+                    continue
+                owner = node.func.value
+                if isinstance(owner, ast.Attribute) and _LISTENER_ATTR.search(owner.attr):
+                    findings.append(
+                        self.finding(
+                            context,
+                            node,
+                            f"in-place `{owner.attr}.{node.func.attr}(...)` on a "
+                            "notification list; rebind instead (copy-on-write), "
+                            "e.g. `x = x + [item]`",
+                        )
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                target = node.target
+                if isinstance(target, ast.Attribute) and _LISTENER_ATTR.search(target.attr):
+                    findings.append(
+                        self.finding(
+                            context,
+                            node,
+                            f"`{target.attr} += ...` mutates the notification list "
+                            "in place; rebind with `x = x + [...]` instead",
+                        )
+                    )
+        return findings

@@ -1,0 +1,73 @@
+"""REP001: no wall-clock reads inside simulation layers."""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..base import Checker, FileContext, register
+from ..findings import Finding
+from ..layers import Layer
+from ._ast_util import import_map, resolve_call_target
+
+#: Canonical dotted call targets that read the host's clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.thread_time",
+        "time.thread_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockChecker(Checker):
+    """Simulation code must never read the host clock.
+
+    **Invariant.** Inside the simulation layers, time flows only through
+    ``Simulator.now``.  A ``time.time()``/``perf_counter()``/
+    ``datetime.now()`` call makes results depend on host speed and load,
+    breaking run-twice identity and the bit-for-bit parallel==serial
+    guarantee of the orchestrator (``tests/test_hotpath_determinism.py``,
+    ``tests/test_orchestrator.py``).
+
+    **Sanctioned idiom.** Wall-clock timing is an orchestration concern:
+    ``orchestrator/executor.py`` times jobs, ``orchestrator/progress.py``
+    computes ETAs, and ``obs/history.py`` stamps perf-history entries --
+    all allow-listed through the layer map, not through suppressions.
+    """
+
+    code = "REP001"
+    name = "no-wall-clock"
+
+    def applies_to(self, context: FileContext) -> bool:
+        return context.layer is Layer.SIMULATION
+
+    def check(self, context: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        imports = import_map(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, imports)
+            if target in _WALL_CLOCK_CALLS:
+                findings.append(
+                    self.finding(
+                        context,
+                        node,
+                        f"wall-clock read `{target}()` in a simulation layer; "
+                        "simulated time flows only through `Simulator.now`",
+                    )
+                )
+        return findings

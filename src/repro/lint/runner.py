@@ -1,0 +1,226 @@
+"""File walking, suppression handling, and the lint entry points.
+
+Suppression syntax (inline, on the offending line)::
+
+    something_hazardous()  # reprolint: disable=REP001 reason=why it is safe
+
+Multiple codes separate with commas (``disable=REP001,REP005``).  The
+``reason=`` clause is *mandatory*: a suppression without one, and a
+suppression that no longer suppresses anything, are both reported as
+``REP000`` findings -- suppressions are part of the determinism contract
+and must stay reviewable and alive.  ``REP000`` itself cannot be
+suppressed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .base import Checker, FileContext, select_checkers
+from .findings import Finding
+
+#: The meta-rule code for suppression hygiene and parse failures.
+META_CODE = "REP000"
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<codes>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)"
+    r"(?:\s+reason=(?P<reason>.*\S))?"
+)
+
+
+@dataclass(slots=True)
+class Suppression:
+    """One parsed inline suppression comment.
+
+    A trailing comment suppresses findings on its own line; a stand-alone
+    comment line (nothing but the comment) suppresses the line below it,
+    for statements too long to carry the comment inline.
+    """
+
+    line: int
+    codes: List[str]
+    reason: Optional[str]
+    own_line: bool = False
+    used: bool = False
+
+    @property
+    def target_line(self) -> int:
+        """The source line this suppression applies to."""
+        return self.line + 1 if self.own_line else self.line
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Outcome of linting a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Findings per rule code (sorted by code)."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract every inline suppression comment from ``source``.
+
+    Tokenize-based on purpose: a suppression lives in a *comment*, so the
+    syntax can be quoted verbatim inside docstrings and string literals
+    (this module does) without creating a live suppression.
+    """
+    suppressions: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # unparsable tail; the
+        return suppressions  # AST pass reports the syntax error itself
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION_RE.search(token.string)
+        if match is None:
+            continue
+        codes = [code.strip() for code in match.group("codes").split(",")]
+        line, col = token.start
+        suppressions.append(
+            Suppression(
+                line=line,
+                codes=codes,
+                reason=match.group("reason"),
+                own_line=not token.line[:col].strip(),
+            )
+        )
+    return suppressions
+
+
+def _apply_suppressions(
+    path: str, findings: List[Finding], suppressions: List[Suppression]
+) -> List[Finding]:
+    """Drop suppressed findings; add REP000 findings for bad suppressions."""
+    by_line: Dict[int, List[Suppression]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.target_line, []).append(suppression)
+
+    kept: List[Finding] = []
+    for finding in findings:
+        if finding.code == META_CODE:
+            kept.append(finding)
+            continue
+        suppressed = False
+        for suppression in by_line.get(finding.line, []):
+            if finding.code in suppression.codes:
+                suppression.used = True
+                suppressed = True
+        if not suppressed:
+            kept.append(finding)
+
+    for suppression in suppressions:
+        if suppression.reason is None:
+            kept.append(
+                Finding(
+                    path=path,
+                    line=suppression.line,
+                    col=0,
+                    code=META_CODE,
+                    message=(
+                        "suppression without a reason; write "
+                        "`# reprolint: disable=<CODE> reason=<why this is safe>`"
+                    ),
+                )
+            )
+        elif not suppression.used:
+            kept.append(
+                Finding(
+                    path=path,
+                    line=suppression.line,
+                    col=0,
+                    code=META_CODE,
+                    message=(
+                        "unused suppression for "
+                        + ",".join(suppression.codes)
+                        + "; the rule no longer fires here -- delete the comment"
+                    ),
+                )
+            )
+    return kept
+
+
+def lint_source(
+    source: str,
+    path: str = "fixture.py",
+    select: Optional[Sequence[str]] = None,
+    checkers: Optional[Sequence[Checker]] = None,
+) -> List[Finding]:
+    """Lint one in-memory source blob (the test-fixture entry point).
+
+    ``path`` drives the layer map, so fixtures choose their regime by
+    naming themselves e.g. ``src/repro/sim/fixture.py`` (simulation) or
+    ``src/repro/obs/fixture.py`` (orchestration).
+    """
+    active = list(checkers) if checkers is not None else select_checkers(select)
+    try:
+        context = FileContext(path, source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                col=error.offset or 0,
+                code=META_CODE,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for checker in active:
+        if checker.applies_to(context):
+            findings.extend(checker.check(context))
+    findings = _apply_suppressions(path, findings, parse_suppressions(source))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    result = []
+    seen = set()
+    for entry in paths:
+        entry_path = Path(entry)
+        if entry_path.is_dir():
+            candidates: Iterable[Path] = sorted(entry_path.rglob("*.py"))
+        else:
+            candidates = [entry_path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                result.append(candidate)
+    return result
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]],
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` and aggregate the findings."""
+    checkers = select_checkers(select)
+    result = LintResult()
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        result.findings.extend(
+            lint_source(source, path=str(file_path), checkers=checkers)
+        )
+        result.files_checked += 1
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return result

@@ -25,7 +25,7 @@ ReceiveCallback = Callable[[Packet], None]
 SendDoneCallback = Callable[[Packet, bool], None]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MacConfig:
     """Timing and behaviour parameters of the CSMA/CA MAC.
 
@@ -55,6 +55,10 @@ class MacConfig:
 
 class Mac(abc.ABC):
     """Abstract MAC service interface."""
+
+    # Stateless base: an empty __slots__ keeps concrete MACs free of a
+    # per-instance __dict__ (one MAC object per node at city scale).
+    __slots__ = ()
 
     @abc.abstractmethod
     def send(self, packet: Packet) -> bool:

@@ -46,7 +46,7 @@ class _MacState(enum.Enum):
     WAITING_FOR_ACK = "waiting_for_ack"
 
 
-@dataclass
+@dataclass(slots=True)
 class _Outgoing:
     """State of the frame currently being worked on."""
 
@@ -58,6 +58,37 @@ class _Outgoing:
 
 class CsmaMac(Mac):
     """CSMA/CA MAC instance for one node."""
+
+    __slots__ = (
+        "_sim",
+        "node_id",
+        "_radio",
+        "_channel",
+        "config",
+        "_rng",
+        "_randbelow",
+        "_queue",
+        "_current",
+        "_state",
+        "_receive_callback",
+        "_send_done_callback",
+        "stats",
+        "_seen_packet_ids",
+        "_seen_packet_order",
+        "_pending_acks",
+        "_attempt_handle",
+        "_ack_handle",
+        "_attempt_label",
+        "_ack_label",
+        "_tx_done_label",
+        "_slot_time",
+        "_difs",
+        "_use_acks",
+        "_on_attempt_timer_cb",
+        "_on_ack_timeout_cb",
+        "_on_tx_complete_cb",
+        "_transmit_ack_cb",
+    )
 
     def __init__(
         self,

@@ -124,6 +124,23 @@ class ChannelStats:
 class WirelessChannel:
     """Shared broadcast medium connecting all node radios."""
 
+    __slots__ = (
+        "_sim",
+        "_topology",
+        "_loss_model",
+        "_lossless",
+        "_model",
+        "_unit_disk",
+        "_attached",
+        "_active",
+        "_covering",
+        "_draining",
+        "_neighbor_cache",
+        "_topology_version",
+        "_finish_transmission_cb",
+        "stats",
+    )
+
     def __init__(
         self,
         sim: Simulator,

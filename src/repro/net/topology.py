@@ -357,7 +357,7 @@ class TopologySpec(KindParamsSpec):
     ``(name, value)`` pairs so the spec hashes stably into the orchestrator's
     job digests (see :class:`~repro.net.spec.KindParamsSpec`).  Node count,
     area, and communication range come from the surrounding
-    :class:`~repro.experiments.config.ScenarioConfig` — the spec only
+    :class:`~repro.experiments.config.ScenarioConfig` -- the spec only
     carries what is specific to the generator (e.g. cluster count).
     """
 

@@ -19,7 +19,7 @@ the simulation itself.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Type, TypeVar
 
 #: Snapshot-key suffixes a histogram flattens to.
 _HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean")
@@ -94,6 +94,12 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
 
+#: The three instrument kinds the registry can hold.  A constrained
+#: TypeVar (rather than a bound) lets mypy check ``cls(name)`` and the
+#: ``isinstance`` narrowing against each concrete class.
+_InstrumentT = TypeVar("_InstrumentT", Counter, Gauge, Histogram)
+
+
 class MetricsRegistry:
     """A flat namespace of counters, gauges and histograms.
 
@@ -104,7 +110,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: Dict[str, object] = {}
 
-    def _get_or_create(self, name: str, cls):
+    def _get_or_create(self, name: str, cls: Type[_InstrumentT]) -> _InstrumentT:
         existing = self._instruments.get(name)
         if existing is not None:
             if not isinstance(existing, cls):

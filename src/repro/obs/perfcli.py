@@ -20,7 +20,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, TextIO
 
 from .history import (
     HISTORY_FILENAME,
@@ -41,7 +41,7 @@ from .report import (
 _BENCH_DIRECTION: Dict[str, bool] = {"hotpath": True, "orchestrator": False}
 
 
-def add_perf_parser(subparsers) -> None:
+def add_perf_parser(subparsers: argparse._SubParsersAction) -> None:
     """Register the ``perf`` command group on the top-level CLI."""
     perf = subparsers.add_parser(
         "perf", help="record, report, diff and gate benchmark performance history"
@@ -134,14 +134,15 @@ def add_perf_parser(subparsers) -> None:
 def _load_payload(path_str: str) -> Dict:
     path = Path(path_str)
     try:
-        return json.loads(path.read_text(encoding="utf-8"))
+        payload: Dict = json.loads(path.read_text(encoding="utf-8"))
+        return payload
     except FileNotFoundError:
-        raise SystemExit(f"error: benchmark payload {path} does not exist")
+        raise SystemExit(f"error: benchmark payload {path} does not exist") from None
     except json.JSONDecodeError as error:
-        raise SystemExit(f"error: benchmark payload {path} is not valid JSON: {error}")
+        raise SystemExit(f"error: benchmark payload {path} is not valid JSON: {error}") from None
 
 
-def _run_record(args: argparse.Namespace, history: PerfHistory, out) -> int:
+def _run_record(args: argparse.Namespace, history: PerfHistory, out: TextIO) -> int:
     payload = _load_payload(args.from_json)
     entry = entry_from_bench(args.bench, payload, commit=args.commit)
     history.append(entry)
@@ -153,7 +154,7 @@ def _run_record(args: argparse.Namespace, history: PerfHistory, out) -> int:
     return 0
 
 
-def _run_report(args: argparse.Namespace, history: PerfHistory, out) -> int:
+def _run_report(args: argparse.Namespace, history: PerfHistory, out: TextIO) -> int:
     fingerprint = host_fingerprint()["fingerprint"] if args.same_host else None
     try:
         figure = trajectory_figure(
@@ -175,7 +176,7 @@ def _run_report(args: argparse.Namespace, history: PerfHistory, out) -> int:
     return 0
 
 
-def _run_diff(args: argparse.Namespace, history: PerfHistory, out) -> int:
+def _run_diff(args: argparse.Namespace, history: PerfHistory, out: TextIO) -> int:
     try:
         entry_a = history.resolve(args.ref_a, bench=args.bench)
         entry_b = history.resolve(args.ref_b, bench=args.bench)
@@ -206,7 +207,7 @@ def _run_diff(args: argparse.Namespace, history: PerfHistory, out) -> int:
     return 0
 
 
-def _run_check(args: argparse.Namespace, history: PerfHistory, out) -> int:
+def _run_check(args: argparse.Namespace, history: PerfHistory, out: TextIO) -> int:
     payload = _load_payload(args.from_json)
     entry = entry_from_bench(args.bench, payload)
     fingerprint: Optional[str] = None if args.any_host else entry.fingerprint
@@ -242,7 +243,7 @@ def _run_check(args: argparse.Namespace, history: PerfHistory, out) -> int:
     return 0
 
 
-def run_perf(args: argparse.Namespace, out) -> int:
+def run_perf(args: argparse.Namespace, out: TextIO) -> int:
     """Dispatch an already-parsed ``perf`` invocation; returns an exit code."""
     history = PerfHistory(args.history)
     if args.perf_command == "record":

@@ -148,7 +148,7 @@ def run_experiments_with_jobs(
     results = run_sweep(jobs, workers=workers, store=store, progress=progress, label=label)
     assembled = [
         assemble_experiment(spec, results[start:stop])
-        for spec, (start, stop) in zip(specs, spans)
+        for spec, (start, stop) in zip(specs, spans, strict=True)
     ]
     return assembled, results
 
@@ -197,4 +197,4 @@ def run_protocol_sweep(
     results = run_experiments(
         specs, workers=workers, store=store, progress=progress, label="compare"
     )
-    return {spec.protocol: result for spec, result in zip(specs, results)}
+    return {spec.protocol: result for spec, result in zip(specs, results, strict=True)}

@@ -19,7 +19,7 @@ from .energy import PowerProfile
 from .states import RadioState, is_active
 
 
-@dataclass
+@dataclass(slots=True)
 class StateInterval:
     """A contiguous interval spent in a single radio state."""
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass, replace
 from .states import RadioState
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PowerProfile:
     """Power draw per radio state and state-transition latencies.
 

@@ -145,16 +145,21 @@ class Radio:
     # ------------------------------------------------------------------ #
 
     def on_wake(self, listener: Callable[[], None]) -> None:
-        """Register ``listener`` to run every time the radio finishes waking up."""
-        self._wake_listeners.append(listener)
+        """Register ``listener`` to run every time the radio finishes waking up.
+
+        Copy-on-write (parity with ``TimingTable.subscribe``): the
+        notification loops iterate without snapshotting, so registration
+        rebinds the list instead of mutating it.
+        """
+        self._wake_listeners = [*self._wake_listeners, listener]
 
     def on_sleep(self, listener: Callable[[], None]) -> None:
         """Register ``listener`` to run every time the radio turns fully off."""
-        self._sleep_listeners.append(listener)
+        self._sleep_listeners = [*self._sleep_listeners, listener]
 
     def on_state_change(self, listener: Callable[[RadioState, RadioState], None]) -> None:
         """Register ``listener(old_state, new_state)`` for every state change."""
-        self._state_listeners.append(listener)
+        self._state_listeners = [*self._state_listeners, listener]
 
     def on_enter_idle(self, listener: Callable[[], None]) -> None:
         """Register ``listener()`` to run whenever the radio enters IDLE.
@@ -164,7 +169,7 @@ class Radio:
         on IDLE entries instead of on every transition.  Idle listeners run
         before any :meth:`on_state_change` listeners for the same transition.
         """
-        self._idle_listeners.append(listener)
+        self._idle_listeners = [*self._idle_listeners, listener]
 
     # ------------------------------------------------------------------ #
     # power management interface

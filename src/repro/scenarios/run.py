@@ -120,7 +120,7 @@ def run_family(
     assembled, job_results = run_experiments_with_jobs(
         specs, workers=workers, store=store, progress=progress, label=family.name
     )
-    results = dict(zip(cells, assembled))
+    results = dict(zip(cells, assembled, strict=True))
     return FamilyRunResult(
         family=family,
         variants=variants,

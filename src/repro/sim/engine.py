@@ -371,6 +371,17 @@ class Simulator:
 class PeriodicHandle:
     """Handle controlling a recurring callback created by :meth:`Simulator.call_every`."""
 
+    __slots__ = (
+        "_sim",
+        "_period",
+        "_callback",
+        "_remaining",
+        "_label",
+        "_cancelled",
+        "_current",
+        "fired",
+    )
+
     def __init__(
         self,
         sim: Simulator,

@@ -160,7 +160,7 @@ class JsonlTraceSink:
     def __enter__(self) -> "JsonlTraceSink":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -249,7 +249,7 @@ class RotatingJsonlSink:
     def __enter__(self) -> "RotatingJsonlSink":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -349,7 +349,7 @@ class TraceRecorder:
         Copy-on-write (parity with ``TimingTable.subscribe``): an in-flight
         ``emit`` keeps notifying the listener list it started with.
         """
-        self._listeners = self._listeners + [listener]
+        self._listeners = [*self._listeners, listener]
 
     def unsubscribe(self, listener: Callable[[TraceRecord], None]) -> None:
         """Remove a previously subscribed listener.
@@ -364,7 +364,7 @@ class TraceRecorder:
 
     def add_sink(self, sink: Any) -> None:
         """Attach a sink; every subsequently accepted record is written to it."""
-        self._sinks = self._sinks + [sink]
+        self._sinks = [*self._sinks, sink]
 
     def remove_sink(self, sink: Any) -> None:
         """Detach a sink (idempotent).  The sink is not closed."""

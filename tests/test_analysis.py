@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from itertools import pairwise
+
 import pytest
 
 from repro.core.analysis import (
@@ -27,7 +29,7 @@ class TestEquation1:
 
     def test_grows_linearly_with_rank(self) -> None:
         values = [nts_receive_time(d, COST) for d in range(1, 6)]
-        diffs = [b - a for a, b in zip(values, values[1:])]
+        diffs = [b - a for a, b in pairwise(values)]
         for diff in diffs:
             assert diff == pytest.approx(COST.t_agg)
 
@@ -79,7 +81,7 @@ class TestEquation3:
     def test_monotonically_non_increasing_in_deadline(self) -> None:
         deadlines = [i * 0.005 for i in range(12)]
         values = [sts_receive_time(l, 4, COST) for l in deadlines]
-        for a, b in zip(values, values[1:]):
+        for a, b in pairwise(values):
             assert b <= a + 1e-12
 
     def test_validation(self) -> None:

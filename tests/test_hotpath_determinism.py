@@ -92,7 +92,7 @@ class TestParallelMatchesSerial:
         ]
         serial = run_experiments(specs, workers=1)
         parallel = run_experiments(specs, workers=min(2, os.cpu_count() or 1))
-        for a, b in zip(serial, parallel):
+        for a, b in zip(serial, parallel, strict=True):
             assert a.metrics.average_duty_cycle == b.metrics.average_duty_cycle
             assert a.metrics.average_query_latency == b.metrics.average_query_latency
             assert a.metrics.delivery_ratio == b.metrics.delivery_ratio

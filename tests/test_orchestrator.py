@@ -159,7 +159,7 @@ class TestSweepExecution:
         serial = run_sweep(jobs, workers=1)
         parallel = run_sweep(jobs, workers=4)
         assert len(serial) == len(parallel) == 4
-        for a, b in zip(serial, parallel):
+        for a, b in zip(serial, parallel, strict=True):
             assert a.job.digest == b.job.digest
             assert a.metrics == b.metrics
             assert a.extras == b.extras
@@ -178,7 +178,7 @@ class TestSweepExecution:
         )
         warm = run_sweep(jobs, workers=1, store=store)
         assert all(result.cached for result in warm)
-        for a, b in zip(cold, warm):
+        for a, b in zip(cold, warm, strict=True):
             assert a.metrics == b.metrics
             assert a.extras == b.extras
 

@@ -36,7 +36,7 @@ def make_entry(
     cells: dict,
     *,
     host: dict = HOST,
-    breakdown: dict = None,
+    breakdown: dict | None = None,
     higher_is_better: bool = True,
 ) -> PerfEntry:
     return PerfEntry(

@@ -21,6 +21,7 @@ import importlib.util
 import json
 import os
 from pathlib import Path
+from typing import ClassVar
 
 import pytest
 
@@ -319,7 +320,7 @@ class _ChannelHarness:
 class TestSinrCapture:
     """A(0 m) -- B(10 m) ---- C(65 m): A is ~20 dB stronger than C at B."""
 
-    POSITIONS = [(0.0, 0.0), (10.0, 0.0), (65.0, 0.0)]
+    POSITIONS: ClassVar[list] = [(0.0, 0.0), (10.0, 0.0), (65.0, 0.0)]
 
     def _model(self, capture_db: float = 6.0) -> SinrCapture:
         return SinrCapture(exponent=3.0, sigma_db=0.0, capture_db=capture_db, noise_db=-6.0)
@@ -581,7 +582,7 @@ class TestPropagationDeterminism:
         ]
         serial = run_experiments(specs, workers=1)
         parallel = run_experiments(specs, workers=min(2, os.cpu_count() or 1))
-        for a, b in zip(serial, parallel):
+        for a, b in zip(serial, parallel, strict=True):
             assert a.metrics == b.metrics
             assert a.per_run_metrics == b.per_run_metrics
 

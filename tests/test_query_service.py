@@ -120,7 +120,7 @@ class TestMultiHop:
             service.register_query(q2)
         sim.run(until=5.0)
         by_query = {}
-        for query_id, k, value, done, sources in deliveries:
+        for query_id, k, _value, _done, _sources in deliveries:
             by_query.setdefault(query_id, []).append(k)
         assert len(by_query[1]) == 5
         assert len(by_query[2]) == 3
@@ -212,7 +212,7 @@ class TestMaintenanceHooks:
         # without a timeout: their completion time is close to the period start.
         late = [entry for entry in deliveries if entry[1] >= 3]
         assert late
-        for query_id, k, value, done, sources in late:
+        for _query_id, k, _value, done, _sources in late:
             assert done - query.report_time(k) < 0.5
 
     def test_stop_query_halts_generation(self) -> None:

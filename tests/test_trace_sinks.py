@@ -172,7 +172,7 @@ class TestRotatingSink:
         assert sink.rotations == 2
         rotated = sink.rotated_paths()
         assert [p.name for p in rotated] == ["trace.jsonl.1", "trace.jsonl.2"]
-        replayed = list(read_jsonl_trace(rotated + [path]))
+        replayed = list(read_jsonl_trace([*rotated, path]))
         assert [record.node for record in replayed] == [0, 1, 2, 3, 4]
 
     def test_prunes_oldest_beyond_max_files(self, tmp_path: Path) -> None:
@@ -192,7 +192,7 @@ class TestRotatingSink:
         sink.write(TraceRecord(time=0.0, category="big", node=1, data={"blob": "x" * 100}))
         sink.write(TraceRecord(time=1.0, category="big", node=2, data={"blob": "y" * 100}))
         sink.close()
-        all_paths = sink.rotated_paths() + [path]
+        all_paths = [*sink.rotated_paths(), path]
         replayed = list(read_jsonl_trace(all_paths))
         assert [record.node for record in replayed] == [1, 2]
 
