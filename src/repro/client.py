@@ -1,0 +1,222 @@
+"""The unified sweep client: one front door for every way to run sweeps.
+
+Four overlapping entry points grew around the orchestrator over the PRs --
+:func:`repro.orchestrator.api.run_sweep`,
+:func:`repro.orchestrator.api.run_experiments`,
+:func:`repro.orchestrator.api.run_experiments_with_jobs`, and
+:func:`repro.scenarios.run.run_family` -- each threading the same
+``workers`` / ``store`` / ``progress`` knobs through its own signature.
+This module consolidates them behind one documented facade:
+
+* :class:`SweepClient` is the abstract interface.  Its single primitive is
+  :meth:`~SweepClient.run_jobs` (execute a list of
+  :class:`~repro.orchestrator.jobs.RunJob`, return one
+  :class:`~repro.orchestrator.executor.JobResult` per job, in order);
+  everything else -- experiment assembly, protocol comparisons, scenario
+  families -- is derived generically on the base class, so every transport
+  gets the whole API for free.
+* :class:`LocalClient` executes in-process through
+  :class:`~repro.orchestrator.executor.SweepExecutor` (serial or
+  process-pool, optional content-addressed store).
+* :class:`repro.service.client.ServiceClient` implements the same interface
+  over the sweep service's HTTP API, which is how a shared warm cache on a
+  long-running server serves figures and comparisons to many users.
+
+The legacy entry points still work -- they are thin deprecated shims over
+:class:`LocalClient` (see their docstrings) -- but new code, the CLI, the
+figure sweeps, and the service all route through this facade.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from .experiments.config import ScenarioConfig
+from .experiments.runner import ExperimentResult
+from .orchestrator.executor import ExecutionBackend, JobResult, SweepExecutor
+from .orchestrator.jobs import RunJob
+from .orchestrator.progress import NullProgress, ProgressReporter
+from .orchestrator.store import ResultStore, open_store
+from .query.query import QuerySpec
+from .query.workload import WorkloadSpec
+
+if TYPE_CHECKING:
+    from .orchestrator.api import ExperimentSpec
+
+__all__ = ["LocalClient", "SweepClient"]
+
+
+class SweepClient:
+    """Abstract sweep-execution facade.
+
+    Implementations provide :meth:`run_jobs`; the experiment/family surface
+    is derived here so local and remote execution stay behaviourally
+    identical (identical jobs, identical assembly, identical averaging --
+    therefore bit-identical results).
+    """
+
+    def run_jobs(self, jobs: Sequence[RunJob], *, label: str = "sweep") -> List[JobResult]:
+        """Execute ``jobs``; returns one result per job, in input order."""
+        raise NotImplementedError
+
+    def run_experiments_with_jobs(
+        self, specs: Sequence["ExperimentSpec"], *, label: str = "sweep"
+    ) -> Tuple[List[ExperimentResult], List[JobResult]]:
+        """Run many experiments through one flattened job sweep.
+
+        Returns the per-spec :class:`ExperimentResult` objects (input order)
+        plus the raw per-job results, whose ``cached`` flags tell callers
+        how much of the sweep came from a warm cache.
+        """
+        from .orchestrator.api import assemble_experiment
+
+        specs = list(specs)
+        jobs: List[RunJob] = []
+        spans: List[Tuple[int, int]] = []
+        for spec in specs:
+            expanded = spec.expand()
+            spans.append((len(jobs), len(jobs) + len(expanded)))
+            jobs.extend(expanded)
+        results = self.run_jobs(jobs, label=label)
+        assembled = [
+            assemble_experiment(spec, results[start:stop])
+            for spec, (start, stop) in zip(specs, spans, strict=True)
+        ]
+        return assembled, results
+
+    def run_experiments(
+        self, specs: Sequence["ExperimentSpec"], *, label: str = "sweep"
+    ) -> List[ExperimentResult]:
+        """Like :meth:`run_experiments_with_jobs`, results only."""
+        assembled, _ = self.run_experiments_with_jobs(specs, label=label)
+        return assembled
+
+    def run_experiment(
+        self,
+        scenario: ScenarioConfig,
+        protocol: str,
+        *,
+        workload: Optional[WorkloadSpec] = None,
+        queries: Optional[Sequence[QuerySpec]] = None,
+        num_runs: Optional[int] = None,
+        label: str = "experiment",
+    ) -> ExperimentResult:
+        """Run one protocol under one scenario (with replications)."""
+        from .orchestrator.api import ExperimentSpec
+
+        spec = ExperimentSpec(
+            scenario=scenario,
+            protocol=protocol,
+            workload=workload,
+            queries=queries,
+            num_runs=num_runs,
+        )
+        return self.run_experiments([spec], label=label)[0]
+
+    def run_protocol_comparison(
+        self,
+        scenario: ScenarioConfig,
+        protocols: Sequence[str],
+        *,
+        workload: Optional[WorkloadSpec] = None,
+        queries: Optional[Sequence[QuerySpec]] = None,
+        num_runs: Optional[int] = None,
+        label: str = "compare",
+    ) -> Dict[str, ExperimentResult]:
+        """Run several protocols under one identical scenario and workload."""
+        from .orchestrator.api import ExperimentSpec
+
+        specs = [
+            ExperimentSpec(
+                scenario=scenario,
+                protocol=protocol,
+                workload=workload,
+                queries=queries,
+                num_runs=num_runs,
+            )
+            for protocol in protocols
+        ]
+        results = self.run_experiments(specs, label=label)
+        return {spec.protocol: result for spec, result in zip(specs, results, strict=True)}
+
+    def run_family(
+        self,
+        family,
+        *,
+        base: Optional[ScenarioConfig] = None,
+        protocols: Optional[Sequence[str]] = None,
+        num_runs: Optional[int] = None,
+    ):
+        """Run one scenario family as a single flattened sweep.
+
+        ``family`` is a name or :class:`~repro.scenarios.registry.ScenarioFamily`;
+        returns a :class:`~repro.scenarios.run.FamilyRunResult`.
+        """
+        from .scenarios.run import DEFAULT_FAMILY_PROTOCOLS, run_family
+
+        return run_family(
+            family,
+            base=base,
+            protocols=protocols if protocols is not None else DEFAULT_FAMILY_PROTOCOLS,
+            num_runs=num_runs,
+            client=self,
+        )
+
+
+class LocalClient(SweepClient):
+    """In-process sweep execution (serial or process pool, optional store).
+
+    The constructor takes the orchestration knobs once, instead of every
+    call threading them through its own signature:
+
+    ``workers``
+        Worker processes; ``1`` is the deterministic in-process loop.
+    ``store``
+        Cache directory path or an open
+        :class:`~repro.orchestrator.store.ResultStore`; jobs found there
+        are returned without running the simulator.
+    ``progress``
+        ``True`` for a stderr progress reporter, or any
+        :class:`~repro.orchestrator.progress.NullProgress`-compatible
+        object.
+    ``backend``
+        Optional :class:`~repro.orchestrator.executor.ExecutionBackend`
+        override (the service injects its persistent worker pool here).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        store=None,
+        progress=None,
+        backend: Optional[ExecutionBackend] = None,
+    ) -> None:
+        self.workers = workers
+        self.store: Optional[ResultStore] = open_store(store)
+        self._progress = progress
+        self.backend = backend
+        #: Execution counters of the last :meth:`run_jobs` call.
+        self.last_executed = 0
+        self.last_cached = 0
+
+    def _coerce_progress(self, label: str) -> NullProgress:
+        progress = self._progress
+        if progress is None or progress is False:
+            return NullProgress()
+        if progress is True:
+            return ProgressReporter(label=label)
+        return progress
+
+    def run_jobs(self, jobs: Sequence[RunJob], *, label: str = "sweep") -> List[JobResult]:
+        """Execute ``jobs`` through a :class:`SweepExecutor`, in order."""
+        executor = SweepExecutor(
+            workers=self.workers,
+            store=self.store,
+            progress=self._coerce_progress(label),
+            backend=self.backend,
+        )
+        results = executor.run(jobs)
+        self.last_executed = executor.last_executed
+        self.last_cached = executor.last_cached
+        return results

@@ -23,18 +23,18 @@ knobs every figure function accepts:
   next invocation with the same store.
 
 The same knobs are exposed on the CLI as ``--jobs`` / ``--cache-dir``.
+
+Every figure function also accepts ``client=``: a
+:class:`~repro.client.SweepClient` that executes the sweep.  Passing a
+:class:`~repro.service.client.ServiceClient` reproduces a figure against a
+running sweep service (sharing its warm cache); when omitted, a local
+client is built from the legacy ``jobs`` / ``store`` / ``progress`` knobs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence
 
-from ..orchestrator.api import (
-    ExperimentSpec,
-    ProgressLike,
-    StoreLike,
-    run_experiments,
-)
 from .config import ScenarioConfig, default_scale
 from .scenarios import (
     BREAK_EVEN_TIMES,
@@ -50,6 +50,15 @@ from .scenarios import (
 )
 from .tables import FigureResult, Series
 
+if TYPE_CHECKING:
+    from ..client import SweepClient
+    from ..orchestrator.api import ProgressLike, StoreLike
+else:
+    # Imported lazily at runtime: the orchestrator's api module imports this
+    # package, and importing it here at module scope would close the cycle.
+    ProgressLike = Any
+    StoreLike = Any
+
 #: Break-even threshold (seconds) used for the Figure 8 commentary: the
 #: typical MICA2 / WLAN wake-up delay.
 MICA2_BREAK_EVEN = 0.0025
@@ -57,6 +66,23 @@ MICA2_BREAK_EVEN = 0.0025
 
 def _percent(value: float) -> float:
     return 100.0 * value
+
+
+def _client_for(
+    client: Optional["SweepClient"], jobs: int, store: StoreLike, progress: ProgressLike
+) -> "SweepClient":
+    """The client a figure sweep executes through (default: a local one)."""
+    if client is not None:
+        return client
+    from ..client import LocalClient
+
+    return LocalClient(workers=jobs, store=store, progress=progress)
+
+
+def _experiment_spec(**kwargs):
+    from ..orchestrator.api import ExperimentSpec
+
+    return ExperimentSpec(**kwargs)
 
 
 def figure2_deadline_sweep(
@@ -67,6 +93,7 @@ def figure2_deadline_sweep(
     jobs: int = 1,
     store: StoreLike = None,
     progress: ProgressLike = None,
+    client: Optional["SweepClient"] = None,
 ) -> FigureResult:
     """Figure 2: STS-SS duty cycle and query latency vs the query deadline."""
     scenario = scenario or default_scale()
@@ -74,7 +101,7 @@ def figure2_deadline_sweep(
     duty = Series(name="duty_cycle_pct", x=[], y=[])
     latency = Series(name="query_latency_s", x=[], y=[])
     specs = [
-        ExperimentSpec(
+        _experiment_spec(
             scenario=scenario,
             protocol="STS-SS",
             workload=deadline_sweep_workload(deadline, base_rate_hz=base_rate_hz),
@@ -82,8 +109,8 @@ def figure2_deadline_sweep(
         )
         for deadline in sweep
     ]
-    results = run_experiments(
-        specs, workers=jobs, store=store, progress=progress, label="fig2"
+    results = _client_for(client, jobs, store, progress).run_experiments(
+        specs, label="fig2"
     )
     for deadline, result in zip(sweep, results, strict=True):
         duty.x.append(deadline)
@@ -121,6 +148,7 @@ def _protocol_sweep(
     jobs: int = 1,
     store: StoreLike = None,
     progress: ProgressLike = None,
+    client: Optional["SweepClient"] = None,
 ) -> FigureResult:
     """Shared sweep driver for the rate / query-count comparison figures.
 
@@ -133,7 +161,7 @@ def _protocol_sweep(
     )
     grid = [(protocol, x) for protocol in protocols for x in x_values]
     specs = [
-        ExperimentSpec(
+        _experiment_spec(
             scenario=scenario,
             protocol=protocol,
             workload=workload_for_x(x),
@@ -141,8 +169,8 @@ def _protocol_sweep(
         )
         for protocol, x in grid
     ]
-    results = run_experiments(
-        specs, workers=jobs, store=store, progress=progress, label=figure_id
+    results = _client_for(client, jobs, store, progress).run_experiments(
+        specs, label=figure_id
     )
     by_protocol: Dict[str, Series] = {}
     for (protocol, x), result in zip(grid, results, strict=True):
@@ -164,6 +192,7 @@ def figure3_duty_cycle_vs_rate(
     jobs: int = 1,
     store: StoreLike = None,
     progress: ProgressLike = None,
+    client: Optional["SweepClient"] = None,
 ) -> FigureResult:
     """Figure 3: average duty cycle vs base rate, three query classes."""
     scenario = scenario or default_scale()
@@ -193,6 +222,7 @@ def figure4_duty_cycle_vs_queries(
     jobs: int = 1,
     store: StoreLike = None,
     progress: ProgressLike = None,
+    client: Optional["SweepClient"] = None,
 ) -> FigureResult:
     """Figure 4: average duty cycle vs number of queries per class (0.2 Hz)."""
     scenario = scenario or default_scale()
@@ -222,6 +252,7 @@ def figure5_duty_cycle_by_rank(
     jobs: int = 1,
     store: StoreLike = None,
     progress: ProgressLike = None,
+    client: Optional["SweepClient"] = None,
 ) -> FigureResult:
     """Figure 5: distribution of duty cycles over node ranks (one typical run)."""
     scenario = scenario or default_scale()
@@ -232,7 +263,7 @@ def figure5_duty_cycle_by_rank(
         y_label="duty cycle (%)",
     )
     specs = [
-        ExperimentSpec(
+        _experiment_spec(
             scenario=scenario,
             protocol=protocol,
             workload=rate_sweep_workload(base_rate_hz),
@@ -240,8 +271,8 @@ def figure5_duty_cycle_by_rank(
         )
         for protocol in protocols
     ]
-    results = run_experiments(
-        specs, workers=jobs, store=store, progress=progress, label="Figure 5"
+    results = _client_for(client, jobs, store, progress).run_experiments(
+        specs, label="Figure 5"
     )
     for protocol, result in zip(protocols, results, strict=True):
         by_rank = result.metrics.duty_cycle_by_rank
@@ -263,6 +294,7 @@ def figure6_latency_vs_rate(
     jobs: int = 1,
     store: StoreLike = None,
     progress: ProgressLike = None,
+    client: Optional["SweepClient"] = None,
 ) -> FigureResult:
     """Figure 6: average query latency vs base rate (log-scale in the paper)."""
     scenario = scenario or default_scale()
@@ -292,6 +324,7 @@ def figure7_latency_vs_queries(
     jobs: int = 1,
     store: StoreLike = None,
     progress: ProgressLike = None,
+    client: Optional["SweepClient"] = None,
 ) -> FigureResult:
     """Figure 7: average query latency vs number of queries per class (0.2 Hz)."""
     scenario = scenario or default_scale()
@@ -323,6 +356,7 @@ def figure8_sleep_interval_histogram(
     jobs: int = 1,
     store: StoreLike = None,
     progress: ProgressLike = None,
+    client: Optional["SweepClient"] = None,
 ) -> FigureResult:
     """Figure 8: histogram of sleep-interval lengths with T_BE = 0.
 
@@ -338,7 +372,7 @@ def figure8_sleep_interval_histogram(
         y_label="count",
     )
     specs = [
-        ExperimentSpec(
+        _experiment_spec(
             scenario=scenario,
             protocol=protocol,
             workload=rate_sweep_workload(base_rate_hz),
@@ -346,8 +380,8 @@ def figure8_sleep_interval_histogram(
         )
         for protocol in protocols
     ]
-    results = run_experiments(
-        specs, workers=jobs, store=store, progress=progress, label="Figure 8"
+    results = _client_for(client, jobs, store, progress).run_experiments(
+        specs, label="Figure 8"
     )
     for protocol, result in zip(protocols, results, strict=True):
         histogram = result.metrics.sleep_interval_histogram(
@@ -375,6 +409,7 @@ def figure9_break_even_time(
     jobs: int = 1,
     store: StoreLike = None,
     progress: ProgressLike = None,
+    client: Optional["SweepClient"] = None,
 ) -> FigureResult:
     """Figure 9: duty cycle vs base rate for several break-even times.
 
@@ -392,7 +427,7 @@ def figure9_break_even_time(
     )
     grid = [(t_be, rate) for t_be in break_even_times for rate in rates]
     specs = [
-        ExperimentSpec(
+        _experiment_spec(
             scenario=scenario.with_overrides(break_even_time=t_be),
             protocol=protocol,
             workload=rate_sweep_workload(rate),
@@ -400,8 +435,8 @@ def figure9_break_even_time(
         )
         for t_be, rate in grid
     ]
-    results = run_experiments(
-        specs, workers=jobs, store=store, progress=progress, label="Figure 9"
+    results = _client_for(client, jobs, store, progress).run_experiments(
+        specs, label="Figure 9"
     )
     by_tbe: Dict[float, Series] = {}
     for (t_be, rate), result in zip(grid, results, strict=True):
@@ -422,13 +457,14 @@ def dts_overhead_vs_rate(
     jobs: int = 1,
     store: StoreLike = None,
     progress: ProgressLike = None,
+    client: Optional["SweepClient"] = None,
 ) -> FigureResult:
     """Section 4.2.3: DTS phase-update overhead (bits per data report) vs rate."""
     scenario = scenario or default_scale()
     rates = list(rates) if rates is not None else base_rates()
     series = Series(name="DTS-SS", x=[], y=[])
     specs = [
-        ExperimentSpec(
+        _experiment_spec(
             scenario=scenario,
             protocol="DTS-SS",
             workload=rate_sweep_workload(rate),
@@ -436,8 +472,8 @@ def dts_overhead_vs_rate(
         )
         for rate in rates
     ]
-    results = run_experiments(
-        specs, workers=jobs, store=store, progress=progress, label="overhead"
+    results = _client_for(client, jobs, store, progress).run_experiments(
+        specs, label="overhead"
     )
     for rate, result in zip(rates, results, strict=True):
         series.x.append(rate)
@@ -463,6 +499,7 @@ def _family_sweep(
     jobs: int,
     store: StoreLike,
     progress: ProgressLike,
+    client: Optional["SweepClient"] = None,
 ) -> FigureResult:
     """One scenario-registry family as a figure: one series per protocol."""
     # Imported here: repro.scenarios sits above the experiments package.
@@ -474,9 +511,7 @@ def _family_sweep(
         base=scenario,
         protocols=protocols,
         num_runs=num_runs,
-        workers=jobs,
-        store=store,
-        progress=progress,
+        client=_client_for(client, jobs, store, progress),
     )
     series = []
     for protocol in protocols:
@@ -501,6 +536,7 @@ def duty_cycle_vs_density(
     jobs: int = 1,
     store: StoreLike = None,
     progress: ProgressLike = None,
+    client: Optional["SweepClient"] = None,
 ) -> FigureResult:
     """Average duty cycle over the registry's node-density sweep.
 
@@ -520,6 +556,7 @@ def duty_cycle_vs_density(
         jobs,
         store,
         progress,
+        client=client,
     )
 
 
@@ -530,6 +567,7 @@ def delivery_ratio_under_churn(
     jobs: int = 1,
     store: StoreLike = None,
     progress: ProgressLike = None,
+    client: Optional["SweepClient"] = None,
 ) -> FigureResult:
     """Delivery ratio as an increasing fraction of nodes fails mid-run.
 
@@ -549,6 +587,7 @@ def delivery_ratio_under_churn(
         jobs,
         store,
         progress,
+        client=client,
     )
 
 
@@ -559,6 +598,7 @@ def delivery_ratio_vs_shadowing(
     jobs: int = 1,
     store: StoreLike = None,
     progress: ProgressLike = None,
+    client: Optional["SweepClient"] = None,
 ) -> FigureResult:
     """Delivery ratio as log-normal shadowing deepens (propagation layer).
 
@@ -579,6 +619,7 @@ def delivery_ratio_vs_shadowing(
         jobs,
         store,
         progress,
+        client=client,
     )
 
 

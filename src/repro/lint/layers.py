@@ -53,7 +53,9 @@ ORCHESTRATION_PACKAGES = frozenset(
         "obs",
         "experiments",
         "lint",
+        "service",  # the sweep service (HTTP server, queue, worker pool)
         "cli",  # the top-level repro/cli.py module
+        "client",  # the top-level repro/client.py sweep facade
     }
 )
 

@@ -1,19 +1,23 @@
 """High-level orchestration API: sweeps and whole experiments.
 
-:func:`run_sweep` is the primitive every harness layer routes through: it
-takes a list of :class:`~repro.orchestrator.jobs.RunJob`, executes them with
-``workers`` processes against an optional content-addressed store, and
-returns results in input order.
+.. deprecated::
+    The module-level entry points here (:func:`run_sweep`,
+    :func:`run_experiments`, :func:`run_experiments_with_jobs`,
+    :func:`run_protocol_sweep`) are kept as compatibility shims over the
+    unified client facade -- new code should construct a
+    :class:`repro.client.LocalClient` (or a
+    :class:`repro.service.client.ServiceClient` for a remote sweep
+    service) and call the corresponding method on it.  The shims delegate
+    verbatim, so results are identical either way.
 
-:func:`run_experiments` is the batched experiment front-end used by
-:func:`repro.experiments.runner.run_experiment` and the figure sweeps in
-:mod:`repro.experiments.figures`: it flattens many experiments (each a
-protocol x workload point with replications) into ONE job list, runs that
-list through :func:`run_sweep`, and reassembles per-experiment
-:class:`~repro.experiments.runner.ExperimentResult` objects.  Flattening is
-what makes figure sweeps parallel even at reduced scale, where each
-experiment has a single replication: the fan-out is across sweep points,
-not only across replications.
+What stays authoritative here: :class:`ExperimentSpec` (the declarative
+"one experiment" unit) and :func:`assemble_experiment` (folding one
+experiment's per-replication job results into an
+:class:`~repro.experiments.runner.ExperimentResult`), which the facade
+itself uses.  Flattening many experiments into ONE job list is what makes
+figure sweeps parallel even at reduced scale, where each experiment has a
+single replication: the fan-out is across sweep points, not only across
+replications.
 """
 
 from __future__ import annotations
@@ -58,18 +62,18 @@ def run_sweep(
 ) -> List[JobResult]:
     """Execute ``jobs`` and return one :class:`JobResult` per job, in order.
 
+    .. deprecated:: Shim over ``LocalClient(...).run_jobs(jobs)``.
+
     ``workers=1`` is a plain in-process loop (deterministic fallback);
     ``workers>1`` fans out over a process pool.  Both paths produce
     bit-identical metrics for the same jobs.  ``store`` may be a cache
     directory path or an open :class:`ResultStore`; jobs found there are
     returned without running the simulator.
     """
-    executor = SweepExecutor(
-        workers=workers,
-        store=open_store(store),
-        progress=_coerce_progress(progress, label),
-    )
-    return executor.run(jobs)
+    from ..client import LocalClient
+
+    client = LocalClient(workers=workers, store=open_store(store), progress=progress)
+    return client.run_jobs(jobs, label=label)
 
 
 @dataclass(frozen=True)
@@ -134,23 +138,16 @@ def run_experiments_with_jobs(
 ) -> tuple[List[ExperimentResult], List[JobResult]]:
     """Run many experiments through one flattened job sweep.
 
+    .. deprecated:: Shim over ``LocalClient(...).run_experiments_with_jobs``.
+
     Returns the per-spec :class:`ExperimentResult` objects (input order)
     plus the raw per-job results, whose ``cached`` flags tell callers how
     much of the sweep came from the store.
     """
-    specs = list(specs)
-    jobs: List[RunJob] = []
-    spans: List[tuple] = []
-    for spec in specs:
-        expanded = spec.expand()
-        spans.append((len(jobs), len(jobs) + len(expanded)))
-        jobs.extend(expanded)
-    results = run_sweep(jobs, workers=workers, store=store, progress=progress, label=label)
-    assembled = [
-        assemble_experiment(spec, results[start:stop])
-        for spec, (start, stop) in zip(specs, spans, strict=True)
-    ]
-    return assembled, results
+    from ..client import LocalClient
+
+    client = LocalClient(workers=workers, store=open_store(store), progress=progress)
+    return client.run_experiments_with_jobs(specs, label=label)
 
 
 def run_experiments(
@@ -162,6 +159,8 @@ def run_experiments(
     label: str = "sweep",
 ) -> List[ExperimentResult]:
     """Run many experiments through one flattened job sweep.
+
+    .. deprecated:: Shim over ``LocalClient(...).run_experiments``.
 
     Returns one :class:`ExperimentResult` per spec, in input order, with
     metrics identical to calling ``run_experiment`` on each spec serially.
@@ -183,18 +182,18 @@ def run_protocol_sweep(
     store: StoreLike = None,
     progress: ProgressLike = None,
 ) -> Dict[str, ExperimentResult]:
-    """Run several protocols under one identical scenario and workload."""
-    specs = [
-        ExperimentSpec(
-            scenario=scenario,
-            protocol=protocol,
-            workload=workload,
-            queries=queries,
-            num_runs=num_runs,
-        )
-        for protocol in protocols
-    ]
-    results = run_experiments(
-        specs, workers=workers, store=store, progress=progress, label="compare"
+    """Run several protocols under one identical scenario and workload.
+
+    .. deprecated:: Shim over ``LocalClient(...).run_protocol_comparison``.
+    """
+    from ..client import LocalClient
+
+    client = LocalClient(workers=workers, store=open_store(store), progress=progress)
+    return client.run_protocol_comparison(
+        scenario,
+        protocols,
+        workload=workload,
+        queries=queries,
+        num_runs=num_runs,
+        label="compare",
     )
-    return {spec.protocol: result for spec, result in zip(specs, results, strict=True)}

@@ -8,12 +8,17 @@ two jobs with the same parameters hash to the same digest on any machine
 and any Python version, which is what makes the on-disk result store
 content-addressed and lets interrupted sweeps resume where they left off.
 
-This module also owns the JSON round-trip helpers for the configuration and
-metric dataclasses (:class:`~repro.experiments.config.ScenarioConfig`,
+Serialization is declarative: every spec type that crosses the JSON
+boundary (:class:`~repro.experiments.config.ScenarioConfig`,
 :class:`~repro.query.workload.WorkloadSpec`,
 :class:`~repro.query.query.QuerySpec`,
-:class:`~repro.experiments.metrics.RunMetrics`), so that cached results can
-be rebuilt bit-for-bit from the store.
+:class:`~repro.experiments.metrics.RunMetrics`, the four scenario-axis
+specs, and :class:`RunJob` itself) registers its field table once with
+:mod:`repro.orchestrator.codec`, and encode/decode/versioned-decode derive
+from the registration.  The ``*_to_dict`` / ``*_from_dict`` helpers below
+are thin compatibility wrappers over the registry -- the HTTP wire format
+of :mod:`repro.service` uses the very same codecs, so in-process and
+over-the-wire serialization cannot drift apart.
 """
 
 from __future__ import annotations
@@ -35,286 +40,271 @@ from ..query.query import QuerySpec, SourceSelection
 from ..query.workload import WorkloadSpec, generate_queries
 from ..radio.energy import PowerProfile
 from ..sim.rng import RandomStreams
+from .codec import (
+    SCHEMA_VERSION,
+    atom,
+    custom,
+    decode,
+    encode,
+    enum_member,
+    int_keyed,
+    mapping,
+    nested,
+    nested_list,
+    optional_nested,
+    register,
+    register_kind_params,
+    seq,
+    value_list,
+)
 
-#: Bump when the job or record serialization format changes; digests embed
-#: this so stale store entries are never mistaken for current ones.
-#: v2: scenarios gained a topology spec and a failure schedule, and the
-#: delivery-ratio metric stopped counting duplicate root deliveries.
-#: v3: scenarios gained propagation, loss, and mobility specs (the
-#: pluggable propagation layer).
-#: v4: RunMetrics gained the per-run observability ``counters`` snapshot
-#: (engine/network/protocol totals plus wall-clock cost).
-SCHEMA_VERSION = 4
+__all__ = [
+    "RunJob",
+    "SCHEMA_VERSION",
+    "expand_experiment",
+    "failure_schedule_from_dict",
+    "failure_schedule_to_dict",
+    "loss_spec_from_dict",
+    "loss_spec_to_dict",
+    "metrics_from_dict",
+    "metrics_to_dict",
+    "mobility_spec_from_dict",
+    "mobility_spec_to_dict",
+    "propagation_spec_from_dict",
+    "propagation_spec_to_dict",
+    "query_from_dict",
+    "query_to_dict",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "topology_spec_from_dict",
+    "topology_spec_to_dict",
+    "workload_from_dict",
+    "workload_to_dict",
+]
 
 
 # ---------------------------------------------------------------------------
-# Configuration serialization
+# Codec registrations (each spec type lists its fields exactly once)
 # ---------------------------------------------------------------------------
 
-def _power_profile_to_dict(profile: PowerProfile) -> Dict[str, Any]:
-    return {
-        "name": profile.name,
-        "tx_power": profile.tx_power,
-        "rx_power": profile.rx_power,
-        "idle_power": profile.idle_power,
-        "sleep_power": profile.sleep_power,
-        "transition_power": profile.transition_power,
-        "t_off_to_on": profile.t_off_to_on,
-        "t_on_to_off": profile.t_on_to_off,
-    }
+register(
+    PowerProfile,
+    atom("name"),
+    atom("tx_power"),
+    atom("rx_power"),
+    atom("idle_power"),
+    atom("sleep_power"),
+    atom("transition_power"),
+    atom("t_off_to_on"),
+    atom("t_on_to_off"),
+)
+
+register(
+    MacConfig,
+    atom("bandwidth_bps"),
+    atom("slot_time"),
+    atom("sifs"),
+    atom("difs"),
+    atom("cw_min"),
+    atom("cw_max"),
+    atom("max_retries"),
+    atom("use_acks"),
+    atom("queue_capacity"),
+    atom("header_bytes"),
+    atom("ack_timeout_slack_slots"),
+)
+
+register_kind_params(TopologySpec)
+register_kind_params(PropagationSpec)
+register_kind_params(LossSpec)
+register_kind_params(MobilitySpec)
+
+register(
+    FailureSchedule,
+    atom("fraction"),
+    seq("window"),
+    custom(
+        "explicit",
+        lambda events: [list(event) for event in events],
+        lambda data: tuple((t, n) for t, n in data),
+    ),
+)
+
+register(
+    ScenarioConfig,
+    atom("num_nodes"),
+    seq("area"),
+    atom("comm_range"),
+    atom("max_distance_from_root"),
+    atom("duration"),
+    atom("num_runs"),
+    atom("seed"),
+    nested("power_profile", PowerProfile),
+    atom("break_even_time"),
+    nested("mac_config", MacConfig),
+    atom("measure_from"),
+    nested("topology", TopologySpec),
+    optional_nested("failure_schedule", FailureSchedule),
+    nested("propagation", PropagationSpec),
+    nested("loss", LossSpec),
+    optional_nested("mobility", MobilitySpec),
+)
+
+register(
+    WorkloadSpec,
+    atom("base_rate_hz"),
+    atom("queries_per_class"),
+    seq("class_rate_ratio"),
+    seq("start_window"),
+    enum_member("aggregation", AggregationFunction),
+    enum_member("sources", SourceSelection),
+    atom("deadline"),
+)
 
 
-def _power_profile_from_dict(data: Dict[str, Any]) -> PowerProfile:
-    return PowerProfile(**data)
+def _query_sources_encode(sources: Any) -> Dict[str, Any]:
+    """A query's sources are polymorphic: a policy or explicit node ids."""
+    if isinstance(sources, SourceSelection):
+        return {"policy": sources.value}
+    return {"nodes": sorted(sources)}
 
 
-def _mac_config_to_dict(config: MacConfig) -> Dict[str, Any]:
-    return {
-        "bandwidth_bps": config.bandwidth_bps,
-        "slot_time": config.slot_time,
-        "sifs": config.sifs,
-        "difs": config.difs,
-        "cw_min": config.cw_min,
-        "cw_max": config.cw_max,
-        "max_retries": config.max_retries,
-        "use_acks": config.use_acks,
-        "queue_capacity": config.queue_capacity,
-        "header_bytes": config.header_bytes,
-        "ack_timeout_slack_slots": config.ack_timeout_slack_slots,
-    }
+def _query_sources_decode(data: Dict[str, Any]) -> Any:
+    if "policy" in data:
+        return SourceSelection(data["policy"])
+    return frozenset(data["nodes"])
 
 
-def _mac_config_from_dict(data: Dict[str, Any]) -> MacConfig:
-    return MacConfig(**data)
+register(
+    QuerySpec,
+    atom("query_id"),
+    atom("period"),
+    atom("start_time"),
+    custom("sources", _query_sources_encode, _query_sources_decode),
+    enum_member("aggregation", AggregationFunction),
+    atom("deadline"),
+    atom("duration"),
+)
+
+register(
+    RunMetrics,
+    atom("protocol"),
+    atom("duration"),
+    atom("average_duty_cycle"),
+    int_keyed("duty_cycle_per_node"),
+    int_keyed("duty_cycle_by_rank"),
+    atom("average_query_latency"),
+    atom("max_query_latency"),
+    atom("deliveries"),
+    atom("delivery_ratio"),
+    int_keyed("energy_per_node"),
+    value_list("sleep_intervals"),
+    mapping("channel_stats"),
+    # The observability counters snapshot arrived with schema v4; v3 store
+    # records decode with an empty snapshot instead of failing.
+    mapping("counters", since=4, default_factory=dict),
+)
 
 
-def _kind_params_to_dict(spec) -> Dict[str, Any]:
-    """JSON-safe representation of any ``kind + params`` spec."""
-    return {"kind": spec.kind, "params": [list(pair) for pair in spec.params]}
-
-
-def _kind_params_from_dict(cls, data: Dict[str, Any]):
-    """Inverse of :func:`_kind_params_to_dict` for the spec class ``cls``."""
-    return cls(kind=data["kind"], params=tuple((k, v) for k, v in data["params"]))
-
+# ---------------------------------------------------------------------------
+# Compatibility wrappers (the pre-codec public helper names)
+# ---------------------------------------------------------------------------
 
 def topology_spec_to_dict(spec: TopologySpec) -> Dict[str, Any]:
     """JSON-safe representation of a :class:`TopologySpec`."""
-    return _kind_params_to_dict(spec)
+    return encode(spec)
 
 
 def topology_spec_from_dict(data: Dict[str, Any]) -> TopologySpec:
     """Inverse of :func:`topology_spec_to_dict`."""
-    return _kind_params_from_dict(TopologySpec, data)
+    return decode(TopologySpec, data)
 
 
 def propagation_spec_to_dict(spec: PropagationSpec) -> Dict[str, Any]:
     """JSON-safe representation of a :class:`PropagationSpec`."""
-    return _kind_params_to_dict(spec)
+    return encode(spec)
 
 
 def propagation_spec_from_dict(data: Dict[str, Any]) -> PropagationSpec:
     """Inverse of :func:`propagation_spec_to_dict`."""
-    return _kind_params_from_dict(PropagationSpec, data)
+    return decode(PropagationSpec, data)
 
 
 def loss_spec_to_dict(spec: LossSpec) -> Dict[str, Any]:
     """JSON-safe representation of a :class:`LossSpec`."""
-    return _kind_params_to_dict(spec)
+    return encode(spec)
 
 
 def loss_spec_from_dict(data: Dict[str, Any]) -> LossSpec:
     """Inverse of :func:`loss_spec_to_dict`."""
-    return _kind_params_from_dict(LossSpec, data)
+    return decode(LossSpec, data)
 
 
 def mobility_spec_to_dict(spec: Optional[MobilitySpec]) -> Optional[Dict[str, Any]]:
     """JSON-safe representation of a :class:`MobilitySpec` (or ``None``)."""
-    return None if spec is None else _kind_params_to_dict(spec)
+    return None if spec is None else encode(spec)
 
 
 def mobility_spec_from_dict(data: Optional[Dict[str, Any]]) -> Optional[MobilitySpec]:
     """Inverse of :func:`mobility_spec_to_dict`."""
-    return None if data is None else _kind_params_from_dict(MobilitySpec, data)
+    return None if data is None else decode(MobilitySpec, data)
 
 
 def failure_schedule_to_dict(schedule: Optional[FailureSchedule]) -> Optional[Dict[str, Any]]:
     """JSON-safe representation of a :class:`FailureSchedule` (or ``None``)."""
-    if schedule is None:
-        return None
-    return {
-        "fraction": schedule.fraction,
-        "window": list(schedule.window),
-        "explicit": [list(event) for event in schedule.explicit],
-    }
+    return None if schedule is None else encode(schedule)
 
 
 def failure_schedule_from_dict(data: Optional[Dict[str, Any]]) -> Optional[FailureSchedule]:
     """Inverse of :func:`failure_schedule_to_dict`."""
-    if data is None:
-        return None
-    return FailureSchedule(
-        fraction=data["fraction"],
-        window=tuple(data["window"]),
-        explicit=tuple((t, n) for t, n in data["explicit"]),
-    )
+    return None if data is None else decode(FailureSchedule, data)
 
 
 def scenario_to_dict(scenario: ScenarioConfig) -> Dict[str, Any]:
     """JSON-safe representation of a :class:`ScenarioConfig`."""
-    return {
-        "num_nodes": scenario.num_nodes,
-        "area": list(scenario.area),
-        "comm_range": scenario.comm_range,
-        "max_distance_from_root": scenario.max_distance_from_root,
-        "duration": scenario.duration,
-        "num_runs": scenario.num_runs,
-        "seed": scenario.seed,
-        "power_profile": _power_profile_to_dict(scenario.power_profile),
-        "break_even_time": scenario.break_even_time,
-        "mac_config": _mac_config_to_dict(scenario.mac_config),
-        "measure_from": scenario.measure_from,
-        "topology": topology_spec_to_dict(scenario.topology),
-        "failure_schedule": failure_schedule_to_dict(scenario.failure_schedule),
-        "propagation": propagation_spec_to_dict(scenario.propagation),
-        "loss": loss_spec_to_dict(scenario.loss),
-        "mobility": mobility_spec_to_dict(scenario.mobility),
-    }
+    return encode(scenario)
 
 
 def scenario_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
     """Inverse of :func:`scenario_to_dict`."""
-    return ScenarioConfig(
-        num_nodes=data["num_nodes"],
-        area=tuple(data["area"]),
-        comm_range=data["comm_range"],
-        max_distance_from_root=data["max_distance_from_root"],
-        duration=data["duration"],
-        num_runs=data["num_runs"],
-        seed=data["seed"],
-        power_profile=_power_profile_from_dict(data["power_profile"]),
-        break_even_time=data["break_even_time"],
-        mac_config=_mac_config_from_dict(data["mac_config"]),
-        measure_from=data["measure_from"],
-        topology=topology_spec_from_dict(data["topology"]),
-        failure_schedule=failure_schedule_from_dict(data["failure_schedule"]),
-        propagation=propagation_spec_from_dict(data["propagation"]),
-        loss=loss_spec_from_dict(data["loss"]),
-        mobility=mobility_spec_from_dict(data["mobility"]),
-    )
+    return decode(ScenarioConfig, data)
 
 
 def workload_to_dict(workload: WorkloadSpec) -> Dict[str, Any]:
     """JSON-safe representation of a :class:`WorkloadSpec`."""
-    return {
-        "base_rate_hz": workload.base_rate_hz,
-        "queries_per_class": workload.queries_per_class,
-        "class_rate_ratio": list(workload.class_rate_ratio),
-        "start_window": list(workload.start_window),
-        "aggregation": workload.aggregation.value,
-        "sources": workload.sources.value,
-        "deadline": workload.deadline,
-    }
+    return encode(workload)
 
 
 def workload_from_dict(data: Dict[str, Any]) -> WorkloadSpec:
     """Inverse of :func:`workload_to_dict`."""
-    return WorkloadSpec(
-        base_rate_hz=data["base_rate_hz"],
-        queries_per_class=data["queries_per_class"],
-        class_rate_ratio=tuple(data["class_rate_ratio"]),
-        start_window=tuple(data["start_window"]),
-        aggregation=AggregationFunction(data["aggregation"]),
-        sources=SourceSelection(data["sources"]),
-        deadline=data["deadline"],
-    )
+    return decode(WorkloadSpec, data)
 
 
 def query_to_dict(query: QuerySpec) -> Dict[str, Any]:
     """JSON-safe representation of a :class:`QuerySpec`."""
-    if isinstance(query.sources, SourceSelection):
-        sources: Any = {"policy": query.sources.value}
-    else:
-        sources = {"nodes": sorted(query.sources)}
-    return {
-        "query_id": query.query_id,
-        "period": query.period,
-        "start_time": query.start_time,
-        "sources": sources,
-        "aggregation": query.aggregation.value,
-        "deadline": query.deadline,
-        "duration": query.duration,
-    }
+    return encode(query)
 
 
 def query_from_dict(data: Dict[str, Any]) -> QuerySpec:
     """Inverse of :func:`query_to_dict`."""
-    sources_data = data["sources"]
-    if "policy" in sources_data:
-        sources: Any = SourceSelection(sources_data["policy"])
-    else:
-        sources = frozenset(sources_data["nodes"])
-    return QuerySpec(
-        query_id=data["query_id"],
-        period=data["period"],
-        start_time=data["start_time"],
-        sources=sources,
-        aggregation=AggregationFunction(data["aggregation"]),
-        deadline=data["deadline"],
-        duration=data["duration"],
-    )
-
-
-# ---------------------------------------------------------------------------
-# Metrics serialization
-# ---------------------------------------------------------------------------
-
-def _int_keyed(data: Dict[str, float]) -> Dict[int, float]:
-    """JSON object keys are strings; restore the int node/rank keys."""
-    return {int(key): value for key, value in data.items()}
+    return decode(QuerySpec, data)
 
 
 def metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
     """JSON-safe representation of a :class:`RunMetrics`."""
-    return {
-        "protocol": metrics.protocol,
-        "duration": metrics.duration,
-        "average_duty_cycle": metrics.average_duty_cycle,
-        "duty_cycle_per_node": {str(k): v for k, v in metrics.duty_cycle_per_node.items()},
-        "duty_cycle_by_rank": {str(k): v for k, v in metrics.duty_cycle_by_rank.items()},
-        "average_query_latency": metrics.average_query_latency,
-        "max_query_latency": metrics.max_query_latency,
-        "deliveries": metrics.deliveries,
-        "delivery_ratio": metrics.delivery_ratio,
-        "energy_per_node": {str(k): v for k, v in metrics.energy_per_node.items()},
-        "sleep_intervals": list(metrics.sleep_intervals),
-        "channel_stats": dict(metrics.channel_stats),
-        "counters": dict(metrics.counters),
-    }
+    return encode(metrics)
 
 
-def metrics_from_dict(data: Dict[str, Any]) -> RunMetrics:
+def metrics_from_dict(data: Dict[str, Any], version: int = SCHEMA_VERSION) -> RunMetrics:
     """Inverse of :func:`metrics_to_dict`.
 
     Python's ``json`` module serializes floats via ``repr`` and parses them
     back exactly, so a metrics object survives the round trip bit-for-bit --
-    the property the warm-store determinism tests assert.
+    the property the warm-store determinism tests assert.  ``version`` is
+    the schema version the data was written at; fields introduced later
+    (the v4 ``counters`` snapshot) decode to their registered defaults.
     """
-    return RunMetrics(
-        protocol=data["protocol"],
-        duration=data["duration"],
-        average_duty_cycle=data["average_duty_cycle"],
-        duty_cycle_per_node=_int_keyed(data["duty_cycle_per_node"]),
-        duty_cycle_by_rank=_int_keyed(data["duty_cycle_by_rank"]),
-        average_query_latency=data["average_query_latency"],
-        max_query_latency=data["max_query_latency"],
-        deliveries=data["deliveries"],
-        delivery_ratio=data["delivery_ratio"],
-        energy_per_node=_int_keyed(data["energy_per_node"]),
-        sleep_intervals=list(data["sleep_intervals"]),
-        channel_stats=dict(data["channel_stats"]),
-        counters=dict(data.get("counters", {})),
-    )
+    return decode(RunMetrics, data, version)
 
 
 # ---------------------------------------------------------------------------
@@ -355,28 +345,19 @@ class RunJob:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe representation (the digest is computed over this)."""
-        return {
-            "version": SCHEMA_VERSION,
-            "scenario": scenario_to_dict(self.scenario),
-            "protocol": self.protocol,
-            "seed": self.seed,
-            "workload": None if self.workload is None else workload_to_dict(self.workload),
-            "queries": None
-            if self.queries is None
-            else [query_to_dict(query) for query in self.queries],
-        }
+        return {"version": SCHEMA_VERSION, **encode(self)}
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "RunJob":
-        """Inverse of :meth:`to_dict`."""
-        queries = data["queries"]
-        return cls(
-            scenario=scenario_from_dict(data["scenario"]),
-            protocol=data["protocol"],
-            seed=data["seed"],
-            workload=None if data["workload"] is None else workload_from_dict(data["workload"]),
-            queries=None if queries is None else tuple(query_from_dict(q) for q in queries),
-        )
+    def from_dict(cls, data: Dict[str, Any], version: Optional[int] = None) -> "RunJob":
+        """Inverse of :meth:`to_dict`.
+
+        ``version`` overrides the payload's embedded ``version`` field; the
+        store's migration path passes the record version explicitly when
+        loading pre-v5 records.
+        """
+        if version is None:
+            version = int(data.get("version", SCHEMA_VERSION))
+        return decode(cls, data, version)
 
     @property
     def digest(self) -> str:
@@ -391,6 +372,16 @@ class RunJob:
         else:
             detail = f"{len(self.queries or ())} fixed queries"
         return f"{self.protocol} seed={self.seed} {detail}"
+
+
+register(
+    RunJob,
+    nested("scenario", ScenarioConfig),
+    atom("protocol"),
+    atom("seed"),
+    optional_nested("workload", WorkloadSpec),
+    nested_list("queries", QuerySpec),
+)
 
 
 def expand_experiment(

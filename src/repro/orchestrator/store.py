@@ -1,101 +1,383 @@
-"""On-disk content-addressed result store.
+"""On-disk content-addressed result store, sharded by digest prefix.
 
-Finished runs are appended to a JSONL file keyed by the job's content
+Finished runs are appended as JSONL records keyed by the job's content
 digest (:attr:`repro.orchestrator.jobs.RunJob.digest`).  Because the key is
 derived from the complete job description, a store can be shared freely
-between sweeps: any sweep that needs the same ``(scenario, protocol,
-workload, seed)`` point -- a re-run, a resumed interrupted sweep, or a
-different figure touching the same point -- gets a cache hit and skips the
-simulator entirely.
+between sweeps -- and, through :mod:`repro.service`, between *users*: any
+sweep that needs the same ``(scenario, protocol, workload, seed)`` point
+gets a cache hit and skips the simulator entirely.
 
-The format is deliberately simple (one JSON object per line, last write
-wins) so a store survives interrupted processes: a partially written final
-line is detected and ignored on load, and everything before it is reused.
+Layout
+------
+Records live under ``<cache_dir>/shards/<p>.jsonl`` where ``<p>`` is the
+first two hex digits of the digest (256 shards).  Sharding keeps individual
+files small under service workloads (appends and compaction rewrite one
+shard, not the whole store) and bounds the cost of a targeted eviction
+rewrite.  An in-memory index (digest -> record) is built once at startup;
+lookups never touch the disk afterwards.
+
+Three maintenance behaviours:
+
+* **Migration** -- a legacy single-file ``results.jsonl`` store (PR 1-6
+  layout) is absorbed into the sharded layout on open.  Records written at
+  schema v3/v4 are decoded through the version-aware codec
+  (:mod:`repro.orchestrator.codec`), re-encoded at the current version, and
+  re-keyed under the job's *current* digest, so a pre-codec cache keeps its
+  warm results across the schema bump.
+* **Compaction** -- appends are last-write-wins, so a digest written twice
+  leaves a superseded line behind.  :meth:`ResultStore.compact` rewrites
+  shards keeping only the newest record per digest (atomic tempfile +
+  ``os.replace``).
+* **Eviction** -- with ``max_bytes`` set, the oldest-inserted digests are
+  dropped (and their shards rewritten) until the store fits the bound.  The
+  record just written is never evicted, and for every digest that survives,
+  its newest record is the one kept.
+
+The format stays deliberately simple (one JSON object per line) so a store
+survives interrupted processes: a partially written final line is detected
+and ignored on load, and everything before it is reused.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Set, Union
 
-from .jobs import SCHEMA_VERSION
+from .codec import SCHEMA_VERSION, SUPPORTED_VERSIONS, CodecError
 
-#: File inside the cache directory that holds the result records.
-STORE_FILENAME = "results.jsonl"
+#: Legacy (pre-v5) single-file store name, still recognized and migrated.
+LEGACY_STORE_FILENAME = "results.jsonl"
+#: Backwards-compatible alias (the pre-shard constant's public name).
+STORE_FILENAME = LEGACY_STORE_FILENAME
+#: Subdirectory holding the per-prefix shard files.
+SHARD_DIR_NAME = "shards"
+
+
+def shard_of(digest: str) -> str:
+    """The shard prefix (first two hex digits) a digest maps to."""
+    return digest[:2]
+
+
+@dataclass
+class StoreStats:
+    """Bookkeeping from the last load/compaction/eviction activity."""
+
+    #: Records currently indexed.
+    records: int = 0
+    #: Records migrated from an older schema version at load time.
+    migrated: int = 0
+    #: Superseded or unreadable lines skipped at load time.
+    skipped: int = 0
+    #: Digests dropped by eviction since the store was opened.
+    evicted: int = 0
+    #: Superseded lines removed by the last :meth:`ResultStore.compact`.
+    compacted: int = 0
+    #: Shard files currently present.
+    shards: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-safe snapshot (served by the service's health endpoint)."""
+        return {
+            "records": self.records,
+            "migrated": self.migrated,
+            "skipped": self.skipped,
+            "evicted": self.evicted,
+            "compacted": self.compacted,
+            "shards": self.shards,
+        }
+
+
+@dataclass
+class _IndexEntry:
+    """One indexed record plus the bytes its newest line occupies on disk."""
+
+    record: Dict[str, Any]
+    line_bytes: int = 0
+    # Whether the on-disk shard may hold additional superseded lines for
+    # this digest (cleared by compaction).
+    dirty: bool = field(default=False, repr=False)
 
 
 class ResultStore:
-    """A directory-backed digest -> record mapping with JSONL persistence."""
+    """A sharded digest -> record mapping with JSONL persistence.
 
-    def __init__(self, cache_dir: Union[str, Path]) -> None:
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the store (created if absent).
+    max_bytes:
+        Optional size bound over the *live* records.  When an append pushes
+        the total past the bound, oldest-inserted digests are evicted until
+        it fits again.  ``None`` (the default) never evicts.
+    """
+
+    def __init__(
+        self, cache_dir: Union[str, Path], *, max_bytes: Optional[int] = None
+    ) -> None:
         self.cache_dir = Path(cache_dir)
         if self.cache_dir.exists() and not self.cache_dir.is_dir():
             raise NotADirectoryError(
                 f"cache dir {str(self.cache_dir)!r} exists and is not a directory"
             )
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes!r}")
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        self.path = self.cache_dir / STORE_FILENAME
-        self._records: Dict[str, Dict[str, Any]] = {}
+        self.shard_dir = self.cache_dir / SHARD_DIR_NAME
+        self.shard_dir.mkdir(exist_ok=True)
+        self.legacy_path = self.cache_dir / LEGACY_STORE_FILENAME
+        self.max_bytes = max_bytes
+        self.stats = StoreStats()
+        #: Insertion-ordered index; order is the eviction order.
+        self._entries: Dict[str, _IndexEntry] = {}
+        self._total_bytes = 0
         self._load()
 
-    def _load(self) -> None:
-        if not self.path.exists():
-            return
-        with self.path.open("r", encoding="utf-8") as handle:
+    # -- loading ------------------------------------------------------------
+
+    def _iter_lines(self, path: Path) -> Iterator[Dict[str, Any]]:
+        with path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
                     continue
                 try:
-                    record = json.loads(line)
+                    yield json.loads(line)
                 except json.JSONDecodeError:
                     # A run interrupted mid-append leaves a truncated last
                     # line; everything before it is still valid.
+                    self.stats.skipped += 1
                     continue
-                if record.get("version") != SCHEMA_VERSION:
-                    continue
-                digest = record.get("digest")
-                if digest:
-                    self._records[digest] = record
+
+    def _adopt(self, record: Dict[str, Any], *, migrated: bool) -> Optional[str]:
+        """Index one parsed record; returns its digest or ``None`` if bad."""
+        version = record.get("version")
+        if version == SCHEMA_VERSION:
+            digest = record.get("digest")
+            if not digest:
+                self.stats.skipped += 1
+                return None
+        elif version in SUPPORTED_VERSIONS:
+            record = self._upgrade(record, int(version))
+            if record is None:
+                return None
+            digest = record["digest"]
+            self.stats.migrated += 1
+            migrated = True
+        else:
+            self.stats.skipped += 1
+            return None
+        line_bytes = len(json.dumps(record, sort_keys=True)) + 1
+        existing = self._entries.get(digest)
+        if existing is not None:
+            # Last write wins; the superseded line stays on disk until the
+            # next compaction of its shard.
+            self.stats.skipped += 1
+            self._total_bytes -= existing.line_bytes
+            existing.record = record
+            existing.line_bytes = line_bytes
+            existing.dirty = True
+            self._total_bytes += line_bytes
+        else:
+            self._entries[digest] = _IndexEntry(record, line_bytes, dirty=migrated)
+            self._total_bytes += line_bytes
+        return digest
+
+    def _upgrade(self, record: Dict[str, Any], version: int) -> Optional[Dict[str, Any]]:
+        """Re-encode a v3/v4 record at the current schema version.
+
+        The job payload is decoded through the version-aware codec and
+        re-digested, so the upgraded record is indistinguishable from one
+        written natively at the current version -- in particular, current
+        sweeps hit it under the current digest.
+        """
+        # Imported lazily: jobs.py imports this module's sibling codec, and
+        # the upgrade path is the only place the store needs the job codec.
+        from .jobs import RunJob, metrics_from_dict, metrics_to_dict
+
+        try:
+            job = RunJob.from_dict(record["job"], version=version)
+            metrics = metrics_from_dict(record["metrics"], version=version)
+        except (KeyError, TypeError, ValueError, CodecError):
+            self.stats.skipped += 1
+            return None
+        return {
+            "job": job.to_dict(),
+            "metrics": metrics_to_dict(metrics),
+            "extras": dict(record.get("extras", {})),
+            "elapsed": float(record.get("elapsed", 0.0)),
+            "digest": job.digest,
+            "version": SCHEMA_VERSION,
+        }
+
+    def _load(self) -> None:
+        migrated_digests: List[str] = []
+        if self.legacy_path.exists():
+            for record in self._iter_lines(self.legacy_path):
+                digest = self._adopt(record, migrated=True)
+                if digest is not None:
+                    migrated_digests.append(digest)
+        for shard_path in sorted(self.shard_dir.glob("*.jsonl")):
+            for record in self._iter_lines(shard_path):
+                self._adopt(record, migrated=False)
+        if migrated_digests:
+            # Absorb the legacy file into the sharded layout: append the
+            # (possibly upgraded) records to their shards, then retire the
+            # legacy file.  Appending before unlinking means a crash in
+            # between leaves duplicates, not losses; compaction cleans up.
+            for digest in migrated_digests:
+                entry = self._entries.get(digest)
+                if entry is not None:
+                    self._append_line(digest, entry.record)
+            self.legacy_path.unlink()
+        self.stats.records = len(self._entries)
+        self.stats.shards = sum(1 for _ in self.shard_dir.glob("*.jsonl"))
+
+    # -- the mapping surface ------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._entries)
 
     def __contains__(self, digest: str) -> bool:
-        return digest in self._records
+        return digest in self._entries
 
     def get(self, digest: str) -> Optional[Dict[str, Any]]:
         """The stored record for ``digest``, or ``None`` on a cache miss."""
-        return self._records.get(digest)
+        entry = self._entries.get(digest)
+        return entry.record if entry is not None else None
+
+    def digests(self) -> Iterator[str]:
+        """All digests currently in the store (insertion order)."""
+        return iter(list(self._entries))
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes the live (newest-per-digest) records occupy."""
+        return self._total_bytes
+
+    def shard_path(self, digest: str) -> Path:
+        """The shard file a digest's records live in."""
+        return self.shard_dir / f"{shard_of(digest)}.jsonl"
+
+    def _append_line(self, digest: str, record: Dict[str, Any]) -> None:
+        path = self.shard_path(digest)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
     def put(self, digest: str, record: Dict[str, Any]) -> None:
         """Persist ``record`` under ``digest`` (appends one JSONL line)."""
         stored = dict(record)
         stored["digest"] = digest
         stored["version"] = SCHEMA_VERSION
-        self._records[digest] = stored
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(stored, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        line_bytes = len(json.dumps(stored, sort_keys=True)) + 1
+        existing = self._entries.pop(digest, None)
+        if existing is not None:
+            self._total_bytes -= existing.line_bytes
+        # (Re-)inserting moves the digest to the back of the eviction order.
+        self._entries[digest] = _IndexEntry(
+            stored, line_bytes, dirty=existing is not None
+        )
+        self._total_bytes += line_bytes
+        self._append_line(digest, stored)
+        self.stats.records = len(self._entries)
+        if self.max_bytes is not None and self._total_bytes > self.max_bytes:
+            self._evict(protect=digest)
 
-    def digests(self) -> Iterator[str]:
-        """All digests currently in the store."""
-        return iter(self._records)
+    # -- maintenance --------------------------------------------------------
+
+    def _rewrite_shard(self, prefix: str) -> int:
+        """Rewrite one shard from the index; returns lines dropped.
+
+        Writes to a tempfile in the shard directory and ``os.replace``s it
+        over the shard, so readers never observe a half-written file.
+        """
+        path = self.shard_dir / f"{prefix}.jsonl"
+        keep = [
+            entry.record
+            for digest, entry in self._entries.items()
+            if shard_of(digest) == prefix
+        ]
+        on_disk = 0
+        if path.exists():
+            with path.open("r", encoding="utf-8") as handle:
+                on_disk = sum(1 for line in handle if line.strip())
+        if not keep:
+            if path.exists():
+                path.unlink()
+            return on_disk
+        fd, tmp_name = tempfile.mkstemp(dir=self.shard_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for record in keep:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        for digest, entry in self._entries.items():
+            if shard_of(digest) == prefix:
+                entry.dirty = False
+        return on_disk - len(keep)
+
+    def compact(self) -> int:
+        """Drop superseded lines from every shard; returns lines removed.
+
+        The newest record of every digest is always retained -- compaction
+        only removes lines the index has already superseded (older writes of
+        the same digest, evicted digests, unreadable tails).
+        """
+        removed = 0
+        for shard_path in sorted(self.shard_dir.glob("*.jsonl")):
+            removed += max(0, self._rewrite_shard(shard_path.stem))
+        self.stats.compacted += removed
+        self.stats.shards = sum(1 for _ in self.shard_dir.glob("*.jsonl"))
+        return removed
+
+    def _evict(self, protect: str) -> None:
+        """Drop oldest-inserted digests until the store fits ``max_bytes``.
+
+        ``protect`` (the digest just written) is never evicted, so a store
+        bounded below one record's size still serves its latest write.
+        """
+        assert self.max_bytes is not None
+        dirty_prefixes: Set[str] = set()
+        for digest in list(self._entries):
+            if self._total_bytes <= self.max_bytes:
+                break
+            if digest == protect:
+                continue
+            entry = self._entries.pop(digest)
+            self._total_bytes -= entry.line_bytes
+            self.stats.evicted += 1
+            dirty_prefixes.add(shard_of(digest))
+        for prefix in sorted(dirty_prefixes):
+            self._rewrite_shard(prefix)
+        self.stats.records = len(self._entries)
+        self.stats.shards = sum(1 for _ in self.shard_dir.glob("*.jsonl"))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ResultStore({str(self.path)!r}, {len(self)} records)"
+        return f"ResultStore({str(self.cache_dir)!r}, {len(self)} records)"
 
 
 def open_store(
-    store: Union[None, str, Path, ResultStore]
-) -> Optional[ResultStore]:
+    store: Union[None, str, Path, "ResultStore"],
+    *,
+    max_bytes: Optional[int] = None,
+) -> Optional["ResultStore"]:
     """Coerce a cache-dir path (or an already-open store) to a store.
 
     ``None`` stays ``None`` -- callers treat that as "caching disabled".
+    ``max_bytes`` applies only when opening a path (an existing store keeps
+    its own policy).
     """
     if store is None or isinstance(store, ResultStore):
         return store
-    return ResultStore(store)
+    return ResultStore(store, max_bytes=max_bytes)

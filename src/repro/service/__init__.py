@@ -1,0 +1,45 @@
+"""The sweep service: simulation-as-a-service over the orchestrator.
+
+A long-running process that owns a sharded
+:class:`~repro.orchestrator.store.ResultStore` and a persistent
+multi-process worker pool, and exposes sweep execution over a small HTTP
+API (:mod:`~repro.service.server`):
+
+* ``POST /sweeps`` submits a job list (wire format:
+  :mod:`~repro.service.schemas`, the same codec the store uses),
+* ``GET /sweeps/{id}`` reports queue/progress state,
+* ``GET /sweeps/{id}/results`` returns the per-job metrics once complete,
+* ``GET /healthz`` serves liveness plus store and metrics snapshots.
+
+Because jobs are content-addressed, the service's cache is shared across
+sweeps and across users: resubmitting an already-computed sweep (or any
+sweep overlapping one) is answered from the store without touching the
+simulator.  Results are bit-identical to an in-process
+:class:`~repro.client.LocalClient` run -- the service executes through the
+very same :class:`~repro.orchestrator.executor.SweepExecutor`.
+
+:class:`~repro.service.client.ServiceClient` is the Python-side face: it
+implements the :class:`repro.client.SweepClient` facade over the HTTP API,
+so everything that takes a client (figures, families, comparisons) can run
+against a remote service unchanged.
+"""
+
+from .client import ServiceClient, ServiceError
+from .queue import SweepQueue, SweepRecord, SweepState
+from .schemas import decode_submit, encode_results, encode_submit
+from .server import SweepService
+from .workers import PersistentPoolBackend, WorkerPool
+
+__all__ = [
+    "PersistentPoolBackend",
+    "ServiceClient",
+    "ServiceError",
+    "SweepQueue",
+    "SweepRecord",
+    "SweepService",
+    "SweepState",
+    "WorkerPool",
+    "decode_submit",
+    "encode_results",
+    "encode_submit",
+]

@@ -1,0 +1,174 @@
+""":class:`ServiceClient`: the sweep-client facade over the service's HTTP API.
+
+Implements :class:`repro.client.SweepClient` with
+:func:`urllib.request.urlopen` (stdlib only), so any code written against
+the facade -- figure sweeps, protocol comparisons, scenario families --
+runs against a remote sweep service by swapping the client object and
+nothing else.  Determinism carries over the wire: the service executes the
+identical jobs through the identical executor, so metrics come back
+bit-identical to a local run (asserted end-to-end in the test suite and
+the CI smoke job).
+
+Sweeps are submitted, then polled (the API is asynchronous server-side);
+:meth:`ServiceClient.run_jobs` hides the submit/poll/fetch cycle behind
+the facade's blocking signature.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..client import SweepClient
+from ..orchestrator.executor import JobResult
+from ..orchestrator.jobs import RunJob
+from .schemas import decode_results, encode_submit
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level or sweep-level failure reported by the service."""
+
+    def __init__(self, message: str, *, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient(SweepClient):
+    """Run sweeps on a remote sweep service.
+
+    Parameters
+    ----------
+    base_url:
+        The service root, e.g. ``http://127.0.0.1:8765``.
+    poll_interval:
+        Seconds between status polls while a sweep runs.
+    timeout:
+        Overall seconds to wait for one sweep before giving up (``None``
+        waits forever); individual HTTP requests use ``http_timeout``.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        poll_interval: float = 0.2,
+        timeout: Optional[float] = 600.0,
+        http_timeout: float = 30.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+        self.http_timeout = http_timeout
+        #: Execution counters of the last :meth:`run_jobs` call, as reported
+        #: by the service (``cached`` includes in-sweep duplicate fan-out).
+        self.last_executed = 0
+        self.last_cached = 0
+        #: Whether the last submission was answered by an existing record
+        #: (idempotent resubmission -- no new work was queued at all).
+        self.last_deduplicated = False
+
+    # -- raw HTTP ------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.http_timeout) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            # The service speaks JSON on every status code; surface it.
+            try:
+                decoded = json.loads(error.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                decoded = {"error": str(error)}
+            return error.code, decoded
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach sweep service at {self.base_url}: {error.reason}"
+            ) from error
+
+    # -- API surface ---------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """The service's health object (store stats, metrics, queue depth)."""
+        status, payload = self._request("GET", "/healthz")
+        if status != 200:
+            raise ServiceError(f"healthz returned {status}: {payload}", status=status)
+        return payload
+
+    def submit(
+        self, jobs: Sequence[RunJob], *, label: str = "sweep"
+    ) -> Dict[str, Any]:
+        """Submit a sweep; returns the service's status object."""
+        status, payload = self._request("POST", "/sweeps", encode_submit(jobs, label=label))
+        if status not in (200, 202):
+            raise ServiceError(
+                f"sweep submission rejected ({status}): {payload.get('error', payload)}",
+                status=status,
+            )
+        return payload
+
+    def status(self, sweep_id: str) -> Dict[str, Any]:
+        """Current status of one sweep."""
+        status, payload = self._request("GET", f"/sweeps/{sweep_id}")
+        if status != 200:
+            raise ServiceError(
+                f"status of sweep {sweep_id} returned {status}: "
+                f"{payload.get('error', payload)}",
+                status=status,
+            )
+        return payload
+
+    def wait(self, sweep_id: str) -> Dict[str, Any]:
+        """Poll until the sweep reaches a terminal state; returns its status."""
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        while True:
+            payload = self.status(sweep_id)
+            if payload["state"] in ("completed", "failed", "cancelled"):
+                return payload
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"sweep {sweep_id} still {payload['state']} after "
+                    f"{self.timeout:g}s ({payload['done']}/{payload['total']} jobs)"
+                )
+            time.sleep(self.poll_interval)
+
+    def results(self, sweep_id: str, jobs: Sequence[RunJob]) -> List[JobResult]:
+        """Fetch and decode a completed sweep's per-job results."""
+        status, payload = self._request("GET", f"/sweeps/{sweep_id}/results")
+        if status != 200:
+            raise ServiceError(
+                f"results of sweep {sweep_id} not servable ({status}): "
+                f"{payload.get('error', payload.get('state', payload))}",
+                status=status,
+            )
+        return decode_results(
+            payload["results"], jobs, version=payload.get("version")
+        )
+
+    # -- the facade primitive ------------------------------------------------
+
+    def run_jobs(self, jobs: Sequence[RunJob], *, label: str = "sweep") -> List[JobResult]:
+        """Submit, wait, fetch: the blocking facade over the async API."""
+        jobs = list(jobs)
+        submitted = self.submit(jobs, label=label)
+        self.last_deduplicated = bool(submitted.get("deduplicated", False))
+        sweep_id = submitted["sweep_id"]
+        final = self.wait(sweep_id)
+        if final["state"] != "completed":
+            raise ServiceError(
+                f"sweep {sweep_id} {final['state']}: {final.get('error', 'cancelled')}"
+            )
+        self.last_executed = int(final.get("executed", 0))
+        self.last_cached = int(final.get("cached", 0))
+        return self.results(sweep_id, jobs)

@@ -1,0 +1,242 @@
+"""The service's sweep queue: idempotent submission, sequential execution.
+
+Sweeps are identified by content (:func:`~repro.service.schemas.sweep_id_of`
+over the ordered job digests), so submitting the same sweep twice -- from
+the same client or another -- returns the same record instead of queueing
+duplicate work.  Execution is deliberately *sequential across sweeps* and
+parallel *within* a sweep (the worker pool): the shared
+:class:`~repro.orchestrator.store.ResultStore` then only ever sees one
+writer, and every sweep still saturates the pool.
+
+The queue is asyncio-native (the HTTP server awaits it) but runs each
+sweep's blocking :class:`~repro.orchestrator.executor.SweepExecutor` on a
+single-thread executor so the event loop keeps serving status requests
+mid-sweep.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..obs.metrics import MetricsRegistry
+from ..orchestrator.executor import JobResult, SweepExecutor
+from ..orchestrator.jobs import RunJob
+from ..orchestrator.progress import NullProgress
+from ..orchestrator.store import ResultStore
+from .schemas import sweep_id_of
+from .workers import PersistentPoolBackend, WorkerPool
+
+
+class SweepState(enum.Enum):
+    """Lifecycle of a submitted sweep."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (SweepState.COMPLETED, SweepState.FAILED, SweepState.CANCELLED)
+
+
+@dataclass
+class SweepRecord:
+    """Everything the service knows about one submitted sweep."""
+
+    sweep_id: str
+    label: str
+    jobs: List[RunJob]
+    state: SweepState = SweepState.QUEUED
+    #: Jobs finished so far (store hits and simulator runs alike).
+    done: int = 0
+    #: Of the finished jobs, how many ran the simulator / came from cache.
+    executed: int = 0
+    cached: int = 0
+    error: Optional[str] = None
+    results: Optional[List[JobResult]] = None
+    #: How many times this sweep was (re)submitted.
+    submissions: int = 1
+
+    @property
+    def total(self) -> int:
+        return len(self.jobs)
+
+    def status(self) -> Dict[str, object]:
+        """The JSON status object served by ``GET /sweeps/{id}``."""
+        status: Dict[str, object] = {
+            "sweep_id": self.sweep_id,
+            "label": self.label,
+            "state": self.state.value,
+            "total": self.total,
+            "done": self.done,
+            "executed": self.executed,
+            "cached": self.cached,
+            "submissions": self.submissions,
+        }
+        if self.error is not None:
+            status["error"] = self.error
+        return status
+
+
+class _RecordProgress(NullProgress):
+    """Progress adapter: executor callbacks update the sweep record in place.
+
+    The executor calls these from the queue's single executor thread; the
+    event loop only ever *reads* the counters (for status responses), and
+    int updates are atomic under the GIL, so no locking is needed.
+    """
+
+    def __init__(self, record: SweepRecord) -> None:
+        self.record = record
+
+    def start(self, total: int) -> None:  # noqa: D102 - NullProgress interface
+        pass
+
+    def job_done(self, *, cached: bool, label: str = "") -> None:  # noqa: D102
+        self.record.done += 1
+        if cached:
+            self.record.cached += 1
+        else:
+            self.record.executed += 1
+
+    def finish(self) -> None:  # noqa: D102 - NullProgress interface
+        pass
+
+
+class SweepQueue:
+    """Accepts sweeps, runs them one at a time on the worker pool.
+
+    Parameters
+    ----------
+    store:
+        The shared result store every sweep reads and writes.
+    workers / job_timeout / job_retries:
+        Worker-pool sizing and supervision (see
+        :class:`~repro.service.workers.WorkerPool`).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; the queue
+        maintains ``service.jobs_executed`` / ``service.jobs_cached`` /
+        ``service.jobs_failed`` / ``service.sweeps_submitted`` /
+        ``service.sweeps_deduplicated`` counters and a
+        ``service.queue_depth`` gauge.
+    """
+
+    def __init__(
+        self,
+        *,
+        store: Optional[ResultStore] = None,
+        workers: int = 1,
+        job_timeout: Optional[float] = None,
+        job_retries: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.store = store
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.pool = WorkerPool(workers, task_timeout=job_timeout, retries=job_retries)
+        self._records: Dict[str, SweepRecord] = {}
+        self._pending: "asyncio.Queue[str]" = asyncio.Queue()
+        self._runner = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="sweep-runner"
+        )
+        self._consumer: Optional[asyncio.Task] = None
+        self._draining = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the pool and the consumer task (call from a running loop)."""
+        self.pool.start()
+        if self._consumer is None:
+            self._consumer = asyncio.get_running_loop().create_task(self._consume())
+
+    async def drain(self) -> None:
+        """Stop gracefully: finish the running sweep, cancel the queued ones."""
+        self._draining = True
+        for record in self._records.values():
+            if record.state is SweepState.QUEUED:
+                record.state = SweepState.CANCELLED
+        self._update_depth()
+        if self._consumer is not None:
+            self._pending.put_nowait("")  # wake the consumer so it can exit
+            await self._consumer
+            self._consumer = None
+        self._runner.shutdown(wait=True)
+        self.pool.close()
+
+    # -- submission and lookup ----------------------------------------------
+
+    def submit(self, jobs: Sequence[RunJob], *, label: str = "sweep") -> SweepRecord:
+        """Queue a sweep (or return the existing record for identical jobs)."""
+        if self._draining:
+            raise RuntimeError("service is draining; not accepting new sweeps")
+        jobs = list(jobs)
+        sweep_id = sweep_id_of(jobs)
+        record = self._records.get(sweep_id)
+        if record is not None and record.state is not SweepState.CANCELLED:
+            record.submissions += 1
+            self.metrics.counter("service.sweeps_deduplicated").inc()
+            return record
+        record = SweepRecord(sweep_id=sweep_id, label=label, jobs=jobs)
+        self._records[sweep_id] = record
+        self.metrics.counter("service.sweeps_submitted").inc()
+        self._pending.put_nowait(sweep_id)
+        self._update_depth()
+        return record
+
+    def get(self, sweep_id: str) -> Optional[SweepRecord]:
+        """The record for ``sweep_id``, or ``None`` if never submitted."""
+        return self._records.get(sweep_id)
+
+    @property
+    def depth(self) -> int:
+        """Sweeps submitted but not yet finished (queued + running)."""
+        return sum(
+            1 for record in self._records.values() if not record.state.terminal
+        )
+
+    def _update_depth(self) -> None:
+        self.metrics.gauge("service.queue_depth").set(float(self.depth))
+
+    # -- execution -----------------------------------------------------------
+
+    async def _consume(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            sweep_id = await self._pending.get()
+            if self._draining:
+                return
+            record = self._records.get(sweep_id)
+            if record is None or record.state is not SweepState.QUEUED:
+                continue
+            record.state = SweepState.RUNNING
+            self._update_depth()
+            try:
+                record.results = await loop.run_in_executor(
+                    self._runner, self._run_sweep, record
+                )
+                record.state = SweepState.COMPLETED
+            except Exception as error:  # noqa: BLE001 - recorded per sweep
+                record.error = str(error)
+                record.state = SweepState.FAILED
+                self.metrics.counter("service.jobs_failed").inc(
+                    float(record.total - record.done)
+                )
+            self._update_depth()
+
+    def _run_sweep(self, record: SweepRecord) -> List[JobResult]:
+        """Blocking sweep execution (runs on the single runner thread)."""
+        executor = SweepExecutor(
+            store=self.store,
+            progress=_RecordProgress(record),
+            backend=PersistentPoolBackend(self.pool),
+        )
+        results = executor.run(record.jobs)
+        self.metrics.counter("service.jobs_executed").inc(float(executor.last_executed))
+        self.metrics.counter("service.jobs_cached").inc(float(executor.last_cached))
+        return results

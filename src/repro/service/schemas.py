@@ -1,0 +1,134 @@
+"""Wire format of the sweep service: the store's codec, over HTTP.
+
+One schema to rule them all: requests and responses reuse the declarative
+codec registry (:mod:`repro.orchestrator.codec`) that already serializes
+jobs and metrics for the content-addressed store.  A submitted sweep is
+therefore *exactly* a list of :class:`~repro.orchestrator.jobs.RunJob`
+dictionaries at a declared schema version -- the same bytes that would key
+the cache locally -- and older clients speaking v3/v4 decode through the
+same version-gated paths the store's migration uses.
+
+Sweep identity: ``sweep_id`` is the SHA-256 over the *ordered* job digests
+(plus the schema version), so resubmitting an identical sweep is
+idempotent by construction -- the service answers with the existing record
+instead of queueing a duplicate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..orchestrator.codec import SCHEMA_VERSION, SUPPORTED_VERSIONS, CodecError
+from ..orchestrator.executor import JobResult
+from ..orchestrator.jobs import RunJob, metrics_from_dict, metrics_to_dict
+
+
+class SchemaError(ValueError):
+    """A request body that does not decode as a sweep submission."""
+
+
+def sweep_id_of(jobs: Sequence[RunJob]) -> str:
+    """Content identity of a sweep: hash of its ordered job digests."""
+    payload = json.dumps(
+        {"version": SCHEMA_VERSION, "jobs": [job.digest for job in jobs]},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def encode_submit(jobs: Sequence[RunJob], *, label: str = "sweep") -> Dict[str, Any]:
+    """The ``POST /sweeps`` request body for ``jobs``."""
+    return {
+        "version": SCHEMA_VERSION,
+        "label": label,
+        "jobs": [job.to_dict() for job in jobs],
+    }
+
+
+def decode_submit(body: Any) -> Tuple[List[RunJob], str]:
+    """Parse a ``POST /sweeps`` body; returns ``(jobs, label)``.
+
+    Raises :class:`SchemaError` on malformed bodies, unsupported schema
+    versions, or empty sweeps.
+    """
+    if not isinstance(body, dict):
+        raise SchemaError("request body must be a JSON object")
+    version = body.get("version", SCHEMA_VERSION)
+    if version not in SUPPORTED_VERSIONS:
+        raise SchemaError(
+            f"unsupported schema version {version!r} "
+            f"(supported: {sorted(SUPPORTED_VERSIONS)})"
+        )
+    raw_jobs = body.get("jobs")
+    if not isinstance(raw_jobs, list) or not raw_jobs:
+        raise SchemaError("'jobs' must be a non-empty list of job objects")
+    label = body.get("label", "sweep")
+    if not isinstance(label, str):
+        raise SchemaError("'label' must be a string")
+    jobs: List[RunJob] = []
+    for index, raw in enumerate(raw_jobs):
+        if not isinstance(raw, dict):
+            raise SchemaError(f"jobs[{index}] must be a JSON object")
+        try:
+            jobs.append(RunJob.from_dict(raw, version=int(version)))
+        except (CodecError, KeyError, TypeError, ValueError) as error:
+            raise SchemaError(f"jobs[{index}] does not decode: {error}") from error
+    return jobs, label
+
+
+def encode_results(results: Sequence[JobResult]) -> List[Dict[str, Any]]:
+    """The per-job result objects of ``GET /sweeps/{id}/results``."""
+    return [
+        {
+            "digest": result.job.digest,
+            "metrics": metrics_to_dict(result.metrics),
+            "extras": dict(result.extras),
+            "cached": bool(result.cached),
+            "elapsed": result.elapsed,
+        }
+        for result in results
+    ]
+
+
+def decode_results(
+    payload: Any, jobs: Sequence[RunJob], *, version: Optional[int] = None
+) -> List[JobResult]:
+    """Rebuild :class:`JobResult` objects client-side from a results body.
+
+    ``jobs`` are the caller's submitted jobs, in order; the service returns
+    results in the same order, and the digests are cross-checked so a
+    mismatched response fails loudly instead of mis-attributing metrics.
+    """
+    if not isinstance(payload, list):
+        raise SchemaError("'results' must be a list")
+    if len(payload) != len(jobs):
+        raise SchemaError(
+            f"result count {len(payload)} does not match submitted job count {len(jobs)}"
+        )
+    version = int(version) if version is not None else SCHEMA_VERSION
+    results: List[JobResult] = []
+    for job, raw in zip(jobs, payload, strict=True):
+        if not isinstance(raw, dict):
+            raise SchemaError("each result must be a JSON object")
+        digest = raw.get("digest")
+        if digest != job.digest:
+            raise SchemaError(
+                f"result digest {digest!r} does not match job digest {job.digest!r}"
+            )
+        try:
+            metrics = metrics_from_dict(raw["metrics"], version=version)
+        except (CodecError, KeyError, TypeError, ValueError) as error:
+            raise SchemaError(f"result metrics do not decode: {error}") from error
+        results.append(
+            JobResult(
+                job=job,
+                metrics=metrics,
+                extras={str(k): float(v) for k, v in dict(raw.get("extras", {})).items()},
+                cached=bool(raw.get("cached", False)),
+                elapsed=float(raw.get("elapsed", 0.0)),
+            )
+        )
+    return results

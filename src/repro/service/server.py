@@ -1,0 +1,262 @@
+"""The sweep service's HTTP server: stdlib asyncio, no framework.
+
+A deliberately small HTTP/1.1 implementation over ``asyncio.start_server``
+-- the service speaks four routes and needs none of a framework's surface:
+
+========================== ============================================
+``GET  /healthz``          liveness + store stats + metrics snapshot
+``POST /sweeps``           submit a job list (``202``; ``200`` on dedup)
+``GET  /sweeps/{id}``      queue/progress status
+``GET  /sweeps/{id}/results``  per-job metrics (``409`` until complete)
+========================== ============================================
+
+Each connection handles one request (``Connection: close``), which keeps
+the parser honest and is plenty for sweep-scale traffic: the expensive
+part of every interaction is the simulation, never the socket.
+
+Graceful drain: ``SIGTERM``/``SIGINT`` (installed by :func:`serve`) stop
+the listener, let the *running* sweep finish, cancel queued sweeps, and
+shut the worker pool down -- so a service restart never corrupts the store
+and clients polling a running sweep still get their results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry
+from ..orchestrator.codec import SCHEMA_VERSION
+from ..orchestrator.store import ResultStore
+from .queue import SweepQueue, SweepState
+from .schemas import SchemaError, decode_submit, encode_results
+
+#: Largest request body accepted (a paper-scale sweep is well under this).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    503: "Service Unavailable",
+}
+
+
+class SweepService:
+    """The HTTP face over a :class:`~repro.service.queue.SweepQueue`.
+
+    Owns the store, the queue, and the metrics registry; :meth:`start`
+    binds the listener (port ``0`` picks a free one -- the bound port is
+    on :attr:`port`), :meth:`drain_and_stop` is the graceful shutdown.
+    """
+
+    def __init__(
+        self,
+        *,
+        store: Optional[ResultStore] = None,
+        workers: int = 1,
+        job_timeout: Optional[float] = None,
+        job_retries: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.store = store
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.queue = SweepQueue(
+            store=store,
+            workers=workers,
+            job_timeout=job_timeout,
+            job_retries=job_retries,
+            metrics=self.metrics,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self.port: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind the listener and start the queue; returns the bound port."""
+        self.queue.start()
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def drain_and_stop(self) -> None:
+        """Graceful shutdown: stop listening, finish the running sweep."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.queue.drain()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except Exception as error:  # noqa: BLE001 - a bad request, not a crash
+            status, payload = 400, {"error": f"bad request: {error}"}
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_PHRASES.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, Any]]:
+        request_line = (await reader.readline()).decode("ascii", "replace").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, {"error": f"malformed request line {request_line!r}"}
+        method, path, _ = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("ascii", "replace").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": f"bad Content-Length {value.strip()!r}"}
+        if content_length > MAX_BODY_BYTES:
+            return 413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+        body = await reader.readexactly(content_length) if content_length else b""
+        return self._route(method, path, body)
+
+    def _route(self, method: str, path: str, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "healthz is GET-only"}
+            return 200, self._healthz()
+        if path == "/sweeps":
+            if method != "POST":
+                return 405, {"error": "submit sweeps with POST"}
+            return self._submit(body)
+        if path.startswith("/sweeps/"):
+            if method != "GET":
+                return 405, {"error": "sweep resources are GET-only"}
+            remainder = path[len("/sweeps/") :]
+            sweep_id, _, tail = remainder.partition("/")
+            if tail == "":
+                return self._status(sweep_id)
+            if tail == "results":
+                return self._results(sweep_id)
+        return 404, {"error": f"no route for {method} {path}"}
+
+    def _healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "schema_version": SCHEMA_VERSION,
+            "queue_depth": self.queue.depth,
+            "store": self.store.stats.as_dict() if self.store is not None else None,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def _submit(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        if self._draining:
+            return 503, {"error": "service is draining; not accepting new sweeps"}
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, {"error": f"body is not valid JSON: {error}"}
+        try:
+            jobs, label = decode_submit(decoded)
+        except SchemaError as error:
+            return 400, {"error": str(error)}
+        record = self.queue.submit(jobs, label=label)
+        deduplicated = record.submissions > 1
+        response = dict(record.status())
+        response["deduplicated"] = deduplicated
+        return (200 if deduplicated else 202), response
+
+    def _status(self, sweep_id: str) -> Tuple[int, Dict[str, Any]]:
+        record = self.queue.get(sweep_id)
+        if record is None:
+            return 404, {"error": f"unknown sweep {sweep_id!r}"}
+        return 200, record.status()
+
+    def _results(self, sweep_id: str) -> Tuple[int, Dict[str, Any]]:
+        record = self.queue.get(sweep_id)
+        if record is None:
+            return 404, {"error": f"unknown sweep {sweep_id!r}"}
+        if record.state is not SweepState.COMPLETED or record.results is None:
+            # 409: the resource exists but is not in a servable state yet
+            # (or never will be, for failed/cancelled sweeps -- the status
+            # object says which).
+            return 409, record.status()
+        response = dict(record.status())
+        response["version"] = SCHEMA_VERSION
+        response["results"] = encode_results(record.results)
+        return 200, response
+
+
+async def _serve_async(
+    service: SweepService,
+    host: str,
+    port: int,
+    ready: Optional["asyncio.Event"] = None,
+    announce=None,
+) -> None:
+    bound = await service.start(host, port)
+    if announce is not None:
+        announce(bound)
+    if ready is not None:
+        ready.set()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-main thread
+            pass
+    await stop.wait()
+    await service.drain_and_stop()
+
+
+def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    job_timeout: Optional[float] = None,
+    job_retries: int = 1,
+    announce=None,
+) -> None:
+    """Run a sweep service until ``SIGTERM``/``SIGINT`` (the CLI entry point).
+
+    ``announce(port)`` is called once the listener is bound (the CLI prints
+    the endpoint; tests could grab an ephemeral port, though in-process
+    tests use :meth:`SweepService.start` directly).
+    """
+    service = SweepService(
+        store=store, workers=workers, job_timeout=job_timeout, job_retries=job_retries
+    )
+    asyncio.run(_serve_async(service, host, port, announce=announce))

@@ -1,0 +1,327 @@
+"""A persistent multi-process worker pool with timeouts and bounded retry.
+
+The transient :class:`~repro.orchestrator.executor.TransientPoolBackend`
+pays process start-up on every sweep and trusts jobs to finish; a service
+cannot afford either.  :class:`WorkerPool` keeps worker processes alive
+across sweeps and supervises them:
+
+* every task is acknowledged by the worker (``started`` message with its
+  pid) before it runs, so the pool knows exactly which process to kill
+  when a task exceeds ``task_timeout``;
+* a killed or crashed worker is respawned, and its task is retried up to
+  ``retries`` extra times before being reported as failed;
+* failures are *reported*, not raised, so one poisoned job cannot take
+  down a batch (the backend layer decides whether that is fatal).
+
+:class:`PersistentPoolBackend` adapts the pool to the executor's
+:class:`~repro.orchestrator.executor.ExecutionBackend` interface, which is
+how the service's sweeps run through an unmodified
+:class:`~repro.orchestrator.executor.SweepExecutor`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..orchestrator.executor import (
+    ExecutionBackend,
+    JobExecutionError,
+    ResultCallback,
+    execute_job,
+)
+from ..orchestrator.jobs import RunJob
+
+#: How often the supervisor wakes to check for timeouts and dead workers.
+SUPERVISOR_TICK_SECONDS = 0.05
+
+
+def _worker_main(task_queue, result_queue, task_fn) -> None:
+    """Worker-process loop: acknowledge, run, report, repeat until ``None``."""
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        task_id, payload = item
+        result_queue.put(("started", task_id, os.getpid()))
+        try:
+            outcome = task_fn(payload)
+        except BaseException as exc:  # noqa: BLE001 - reported, not swallowed
+            result_queue.put(("failed", task_id, f"{type(exc).__name__}: {exc}"))
+        else:
+            result_queue.put(("done", task_id, outcome))
+
+
+@dataclass
+class TaskFailure:
+    """Why one task could not be completed."""
+
+    task_id: str
+    message: str
+    attempts: int
+
+
+class _TaskState:
+    """Supervisor-side bookkeeping for one submitted task."""
+
+    __slots__ = ("task_id", "payload", "attempts", "pid", "started_at")
+
+    def __init__(self, task_id: str, payload: Any) -> None:
+        self.task_id = task_id
+        self.payload = payload
+        self.attempts = 0
+        self.pid: Optional[int] = None
+        self.started_at: Optional[float] = None
+
+
+class WorkerPool:
+    """Persistent worker processes executing picklable task payloads.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (all started eagerly by :meth:`start`).
+    task_fn:
+        Module-level callable each worker applies to a task payload
+        (must be picklable; default
+        :func:`~repro.orchestrator.executor.execute_job`).
+    task_timeout:
+        Wall-clock seconds one task attempt may run before its worker is
+        killed and the task retried.  ``None`` never times out.
+    retries:
+        Extra attempts a timed-out or crashed task gets before it is
+        reported as failed.  Exceptions *raised* by ``task_fn`` are
+        deterministic and fail immediately without retry.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        task_fn: Callable[[Any], Any] = execute_job,
+        task_timeout: Optional[float] = None,
+        retries: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {task_timeout!r}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries!r}")
+        self.workers = workers
+        self.task_fn = task_fn
+        self.task_timeout = task_timeout
+        self.retries = retries
+        self._context = multiprocessing.get_context("spawn")
+        self._task_queue = None
+        self._result_queue = None
+        self._processes: List[Any] = []
+        #: Tasks killed for exceeding ``task_timeout`` since :meth:`start`.
+        self.timeouts = 0
+        #: Worker processes respawned after a kill or crash.
+        self.respawns = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the pool has live worker processes."""
+        return any(process.is_alive() for process in self._processes)
+
+    def start(self) -> None:
+        """Spawn the worker processes (idempotent)."""
+        if self._processes:
+            return
+        self._task_queue = self._context.Queue()
+        self._result_queue = self._context.Queue()
+        self._processes = [self._spawn() for _ in range(self.workers)]
+
+    def _spawn(self):
+        process = self._context.Process(
+            target=_worker_main,
+            args=(self._task_queue, self._result_queue, self.task_fn),
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    def close(self, *, timeout: float = 5.0) -> None:
+        """Stop every worker (graceful sentinel, then terminate stragglers)."""
+        if not self._processes:
+            return
+        for _ in self._processes:
+            self._task_queue.put(None)
+        deadline = time.monotonic() + timeout
+        for process in self._processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        self._processes = []
+        self._task_queue = None
+        self._result_queue = None
+
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------------
+
+    def _kill_worker(self, pid: int) -> None:
+        for index, process in enumerate(self._processes):
+            if process.pid == pid:
+                process.terminate()
+                process.join(timeout=1.0)
+                self._processes[index] = self._spawn()
+                self.respawns += 1
+                return
+
+    def _reap_crashed(self) -> List[int]:
+        """Respawn workers that died without reporting; returns their pids."""
+        crashed: List[int] = []
+        for index, process in enumerate(self._processes):
+            if not process.is_alive():
+                crashed.append(process.pid)
+                process.join(timeout=0.0)
+                self._processes[index] = self._spawn()
+                self.respawns += 1
+        return crashed
+
+    def run_batch(
+        self,
+        items: Sequence[Tuple[str, Any]],
+        on_done: Optional[Callable[[str, Any], None]] = None,
+    ) -> Tuple[Dict[str, Any], List[TaskFailure]]:
+        """Execute ``items`` (``(task_id, payload)``); returns (results, failures).
+
+        ``on_done(task_id, outcome)`` fires in the calling process as each
+        task finishes (the streaming hook the executor's store/progress
+        plumbing hangs off).  Task ids must be unique within a batch.
+        """
+        self.start()
+        states = {task_id: _TaskState(task_id, payload) for task_id, payload in items}
+        if len(states) != len(items):
+            raise ValueError("duplicate task ids in batch")
+        results: Dict[str, Any] = {}
+        failures: List[TaskFailure] = []
+        for state in states.values():
+            state.attempts = 1
+            self._task_queue.put((state.task_id, state.payload))
+        outstanding = set(states)
+
+        def settle(task_id: str, *, outcome=None, error: Optional[str] = None) -> None:
+            outstanding.discard(task_id)
+            state = states[task_id]
+            state.pid = None
+            state.started_at = None
+            if error is None:
+                results[task_id] = outcome
+                if on_done is not None:
+                    on_done(task_id, outcome)
+            else:
+                failures.append(TaskFailure(task_id, error, state.attempts))
+
+        def retry_or_fail(task_id: str, error: str) -> None:
+            state = states[task_id]
+            state.pid = None
+            state.started_at = None
+            if state.attempts <= self.retries:
+                state.attempts += 1
+                self._task_queue.put((state.task_id, state.payload))
+            else:
+                settle(task_id, error=error)
+
+        while outstanding:
+            try:
+                message = self._result_queue.get(timeout=SUPERVISOR_TICK_SECONDS)
+            except queue_module.Empty:
+                message = None
+            if message is not None:
+                kind, task_id, detail = message
+                if task_id not in outstanding:
+                    # A kill raced the task's completion; the retry settles it.
+                    continue
+                if kind == "started":
+                    states[task_id].pid = detail
+                    states[task_id].started_at = time.monotonic()
+                elif kind == "done":
+                    settle(task_id, outcome=detail)
+                else:  # "failed": a task_fn exception -- deterministic, no retry
+                    settle(task_id, error=detail)
+            # Supervise: timeouts first (so a hung worker is killed even
+            # while the result queue stays busy), then crashed workers.
+            if self.task_timeout is not None:
+                now = time.monotonic()
+                for state in list(states.values()):
+                    if (
+                        state.task_id in outstanding
+                        and state.started_at is not None
+                        and now - state.started_at > self.task_timeout
+                    ):
+                        self.timeouts += 1
+                        self._kill_worker(state.pid)
+                        retry_or_fail(
+                            state.task_id,
+                            f"timed out after {self.task_timeout:g}s "
+                            f"(attempt {state.attempts})",
+                        )
+            for pid in self._reap_crashed():
+                attributed = False
+                for state in list(states.values()):
+                    if state.task_id in outstanding and state.pid == pid:
+                        attributed = True
+                        retry_or_fail(
+                            state.task_id,
+                            f"worker (pid {pid}) died (attempt {state.attempts})",
+                        )
+                if not attributed:
+                    # A hard exit (os._exit, SIGKILL) can kill the queue's
+                    # feeder thread before the "started" message flushes, so
+                    # the dead worker's task looks unacknowledged.  Requeue
+                    # one unstarted task so the batch cannot hang; if the
+                    # task was never actually consumed, the duplicate
+                    # completion is ignored by the outstanding-set guard.
+                    for state in states.values():
+                        if state.task_id in outstanding and state.pid is None:
+                            retry_or_fail(
+                                state.task_id,
+                                f"worker (pid {pid}) died before acknowledging "
+                                f"(attempt {state.attempts})",
+                            )
+                            break
+        return results, failures
+
+
+class PersistentPoolBackend(ExecutionBackend):
+    """Run a sweep's pending jobs on a shared :class:`WorkerPool`.
+
+    The service plugs this into :class:`~repro.orchestrator.executor.SweepExecutor`,
+    so dedupe/store/progress behave exactly as in-process execution -- only
+    *where* simulator runs happen changes.  Any permanently failed job
+    raises :class:`~repro.orchestrator.executor.JobExecutionError`.
+    """
+
+    def __init__(self, pool: WorkerPool) -> None:
+        self.pool = pool
+
+    def execute(
+        self, pending: Sequence[Tuple[str, RunJob]], on_result: ResultCallback
+    ) -> None:
+        jobs = {digest: job for digest, job in pending}
+
+        def on_done(digest: str, outcome) -> None:
+            metrics, extras, elapsed = outcome
+            on_result(digest, jobs[digest], metrics, extras, elapsed)
+
+        _, failures = self.pool.run_batch(list(pending), on_done)
+        if failures:
+            raise JobExecutionError(
+                [(jobs[failure.task_id], failure.message) for failure in failures]
+            )

@@ -81,7 +81,8 @@ class TestCommands:
             out=cold,
         )
         assert code == 0
-        assert (tmp_path / "cache" / "results.jsonl").exists()
+        shards = list((tmp_path / "cache" / "shards").glob("*.jsonl"))
+        assert shards, "cold run must persist results into the sharded store"
         # A warm cache replays the figure without the simulator and must
         # print the identical table.
         warm = io.StringIO()

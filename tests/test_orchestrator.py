@@ -139,7 +139,7 @@ class TestResultStore:
         store = ResultStore(tmp_path / "cache")
         store.put("abc", {"value": 1})
         store.put("def", {"value": 2})
-        with store.path.open("a", encoding="utf-8") as handle:
+        with store.shard_path("ghi").open("a", encoding="utf-8") as handle:
             handle.write('{"digest": "ghi", "truncat')
         reopened = ResultStore(tmp_path / "cache")
         assert len(reopened) == 2
@@ -148,7 +148,7 @@ class TestResultStore:
 
     def test_ignores_records_from_other_schema_versions(self, tmp_path) -> None:
         store = ResultStore(tmp_path / "cache")
-        with store.path.open("a", encoding="utf-8") as handle:
+        with store.shard_path("old").open("a", encoding="utf-8") as handle:
             handle.write(json.dumps({"digest": "old", "version": -1}) + "\n")
         assert "old" not in ResultStore(tmp_path / "cache")
 

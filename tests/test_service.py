@@ -1,0 +1,346 @@
+"""The sweep service: worker pool, wire schemas, and the HTTP API end to end.
+
+The end-to-end tests run a real :class:`~repro.service.server.SweepService`
+on an ephemeral port inside a background thread and drive it with the real
+:class:`~repro.service.client.ServiceClient` over real sockets -- the same
+path the CI smoke job exercises through the CLI.
+
+The worker-pool task functions below are module-level on purpose: the pool
+uses the ``spawn`` start method, so they must be picklable by reference and
+importable from the worker process.
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.client import LocalClient
+from repro.experiments.config import smoke_scale
+from repro.experiments.scenarios import rate_sweep_workload
+from repro.orchestrator.codec import SCHEMA_VERSION
+from repro.orchestrator.executor import JobExecutionError, SweepExecutor
+from repro.orchestrator.jobs import RunJob, metrics_to_dict
+from repro.orchestrator.store import ResultStore
+from repro.service import (
+    PersistentPoolBackend,
+    ServiceClient,
+    ServiceError,
+    SweepService,
+    WorkerPool,
+    decode_submit,
+    encode_results,
+    encode_submit,
+)
+from repro.service.schemas import SchemaError, decode_results, sweep_id_of
+
+
+def _comparable(metrics):
+    """``metrics_to_dict`` minus the wall-clock cost gauges.
+
+    Those measure cost, not simulation outcome, and legitimately differ
+    between bit-identical runs (see the ``compare=False`` note on
+    :attr:`RunMetrics.counters`).
+    """
+    from repro.obs.adapters import WALL_CLOCK_COUNTERS
+
+    data = metrics_to_dict(metrics)
+    data["counters"] = {
+        key: value
+        for key, value in data["counters"].items()
+        if key not in WALL_CLOCK_COUNTERS
+    }
+    return data
+
+
+def _jobs(protocols=("DTS-SS", "PSM"), seed=7):
+    scenario = smoke_scale()
+    workload = rate_sweep_workload(2.0)
+    return [
+        RunJob(scenario=scenario, protocol=protocol, seed=seed, workload=workload)
+        for protocol in protocols
+    ]
+
+
+# -- picklable worker-pool task functions (spawn start method) ----------------
+
+
+def _square(value):
+    return value * value
+
+
+def _always_fails(value):
+    raise ValueError(f"cannot process {value}")
+
+
+def _sleep_forever(value):
+    time.sleep(600.0)
+    return value
+
+
+def _crash_once(flag_path):
+    """Hard-exit on the first attempt, succeed on the retry."""
+    flag = Path(flag_path)
+    if not flag.exists():
+        flag.write_text("crashed")
+        os._exit(1)
+    return "recovered"
+
+
+class TestWorkerPool:
+    def test_run_batch_returns_all_results(self) -> None:
+        with WorkerPool(workers=2, task_fn=_square) as pool:
+            results, failures = pool.run_batch([("a", 3), ("b", 4), ("c", 5)])
+        assert failures == []
+        assert results == {"a": 9, "b": 16, "c": 25}
+
+    def test_task_exception_fails_immediately_without_retry(self) -> None:
+        with WorkerPool(workers=1, task_fn=_always_fails, retries=3) as pool:
+            results, failures = pool.run_batch([("bad", 1)])
+        assert results == {}
+        assert len(failures) == 1
+        assert "ValueError" in failures[0].message
+        # Deterministic exceptions never consume the retry budget.
+        assert failures[0].attempts == 1
+
+    def test_timeout_kills_worker_and_pool_stays_usable(self) -> None:
+        pool = WorkerPool(
+            workers=1, task_fn=_sleep_forever, task_timeout=0.3, retries=0
+        )
+        with pool:
+            results, failures = pool.run_batch([("hung", 1)])
+            assert results == {}
+            assert len(failures) == 1
+            assert "timed out" in failures[0].message
+            assert pool.timeouts == 1
+            assert pool.respawns >= 1
+            # The respawned worker serves the next batch.
+            pool.task_fn = _square  # only affects workers spawned afterwards
+            pool.close()
+            pool.start()
+            results, failures = pool.run_batch([("ok", 6)])
+        assert failures == []
+        assert results == {"ok": 36}
+
+    def test_crashed_worker_is_respawned_and_task_retried(self, tmp_path) -> None:
+        flag = tmp_path / "crash.flag"
+        with WorkerPool(workers=1, task_fn=_crash_once, retries=1) as pool:
+            results, failures = pool.run_batch([("flaky", str(flag))])
+            assert pool.respawns >= 1
+        assert failures == []
+        assert results == {"flaky": "recovered"}
+
+    def test_crash_without_retry_budget_is_reported(self, tmp_path) -> None:
+        flag = tmp_path / "crash.flag"
+        with WorkerPool(workers=1, task_fn=_crash_once, retries=0) as pool:
+            results, failures = pool.run_batch([("flaky", str(flag))])
+        assert results == {}
+        assert len(failures) == 1
+        assert "died" in failures[0].message
+
+    def test_constructor_validation(self) -> None:
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(workers=0)
+        with pytest.raises(ValueError, match="task_timeout"):
+            WorkerPool(task_timeout=0.0)
+        with pytest.raises(ValueError, match="retries"):
+            WorkerPool(retries=-1)
+
+
+class TestPersistentPoolBackend:
+    def test_pool_execution_is_bit_identical_to_serial(self) -> None:
+        jobs = _jobs()
+        serial = SweepExecutor()
+        expected = serial.run(jobs)
+        with WorkerPool(workers=2) as pool:
+            executor = SweepExecutor(backend=PersistentPoolBackend(pool))
+            actual = executor.run(jobs)
+        assert executor.last_executed == len(jobs)
+        for got, want in zip(actual, expected, strict=True):
+            assert _comparable(got.metrics) == _comparable(want.metrics)
+            assert got.extras == want.extras
+
+    def test_permanent_failure_raises_job_execution_error(self) -> None:
+        jobs = _jobs(protocols=("DTS-SS",))
+        with WorkerPool(workers=1, task_fn=_always_fails) as pool:
+            executor = SweepExecutor(backend=PersistentPoolBackend(pool))
+            with pytest.raises(JobExecutionError, match="ValueError"):
+                executor.run(jobs)
+
+
+class TestSchemas:
+    def test_submit_round_trips_through_json(self) -> None:
+        jobs = _jobs()
+        body = json.loads(json.dumps(encode_submit(jobs, label="smoke")))
+        decoded, label = decode_submit(body)
+        assert label == "smoke"
+        assert decoded == jobs
+        assert [job.digest for job in decoded] == [job.digest for job in jobs]
+
+    def test_decode_submit_rejects_bad_bodies(self) -> None:
+        jobs = _jobs(protocols=("DTS-SS",))
+        good = encode_submit(jobs)
+        with pytest.raises(SchemaError, match="JSON object"):
+            decode_submit([1, 2, 3])
+        with pytest.raises(SchemaError, match="unsupported schema version"):
+            decode_submit(dict(good, version=99))
+        with pytest.raises(SchemaError, match="non-empty list"):
+            decode_submit(dict(good, jobs=[]))
+        with pytest.raises(SchemaError, match="does not decode"):
+            decode_submit(dict(good, jobs=[{"nonsense": True}]))
+
+    def test_sweep_id_is_order_sensitive_and_stable(self) -> None:
+        jobs = _jobs()
+        assert sweep_id_of(jobs) == sweep_id_of(list(jobs))
+        assert sweep_id_of(jobs) != sweep_id_of(list(reversed(jobs)))
+
+    def test_results_round_trip_and_digest_cross_check(self) -> None:
+        jobs = _jobs(protocols=("DTS-SS",))
+        results = SweepExecutor().run(jobs)
+        payload = json.loads(json.dumps(encode_results(results)))
+        decoded = decode_results(payload, jobs, version=SCHEMA_VERSION)
+        assert metrics_to_dict(decoded[0].metrics) == metrics_to_dict(
+            results[0].metrics
+        )
+        assert decoded[0].extras == results[0].extras
+        with pytest.raises(SchemaError, match="digest"):
+            decode_results(payload, _jobs(protocols=("PSM",)))
+
+
+# -- the HTTP API, end to end -------------------------------------------------
+
+
+def _start_test_service(store, *, workers: int = 1):
+    """Run a SweepService in a background thread; returns (port, service, stop)."""
+    box = {}
+    ready = threading.Event()
+
+    def run() -> None:
+        async def main() -> None:
+            import asyncio
+
+            service = SweepService(store=store, workers=workers)
+            port = await service.start(port=0)
+            stop = asyncio.Event()
+            box.update(
+                service=service,
+                port=port,
+                stop=stop,
+                loop=asyncio.get_running_loop(),
+            )
+            ready.set()
+            await stop.wait()
+            await service.drain_and_stop()
+
+        import asyncio
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=10.0), "service failed to start"
+
+    def shutdown() -> None:
+        box["loop"].call_soon_threadsafe(box["stop"].set)
+        thread.join(timeout=10.0)
+
+    return box["port"], box["service"], shutdown
+
+
+@pytest.fixture()
+def service(tmp_path):
+    store = ResultStore(tmp_path / "service-cache")
+    port, svc, shutdown = _start_test_service(store)
+    try:
+        yield ServiceClient(f"http://127.0.0.1:{port}", poll_interval=0.05), svc
+    finally:
+        shutdown()
+
+
+class TestServiceEndToEnd:
+    def test_http_sweep_is_bit_identical_to_local(self, service, tmp_path) -> None:
+        client, _ = service
+        jobs = _jobs()
+        remote = client.run_jobs(jobs, label="smoke")
+        assert client.last_executed == len(jobs)
+        assert client.last_deduplicated is False
+        local = LocalClient(store=ResultStore(tmp_path / "local-cache")).run_jobs(jobs)
+        for got, want in zip(remote, local, strict=True):
+            assert _comparable(got.metrics) == _comparable(want.metrics)
+            assert got.extras == want.extras
+
+    def test_resubmission_is_deduplicated_with_zero_reexecution(
+        self, service
+    ) -> None:
+        client, _ = service
+        jobs = _jobs()
+        first = client.run_jobs(jobs, label="smoke")
+        after_first = client.healthz()["metrics"]
+        assert after_first["service.jobs_executed"] == len(jobs)
+        again = client.run_jobs(jobs, label="smoke")
+        assert client.last_deduplicated is True
+        # The acceptance bar: the second submission queues no work at all.
+        after_second = client.healthz()["metrics"]
+        assert after_second["service.jobs_executed"] == len(jobs)
+        assert after_second["service.sweeps_deduplicated"] == 1.0
+        for got, want in zip(again, first, strict=True):
+            assert metrics_to_dict(got.metrics) == metrics_to_dict(want.metrics)
+
+    def test_healthz_reports_store_and_queue(self, service) -> None:
+        client, _ = service
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["schema_version"] == SCHEMA_VERSION
+        assert health["queue_depth"] == 0
+        assert set(health["store"]) >= {"records", "migrated", "evicted", "shards"}
+        assert isinstance(health["metrics"], dict)
+
+    def test_unknown_sweep_is_404(self, service) -> None:
+        client, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("0" * 64)
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            client.results("0" * 64, [])
+        assert excinfo.value.status == 404
+
+    def test_facade_methods_work_over_http(self, service, tmp_path) -> None:
+        """A derived facade method (run_experiment) is transport-agnostic."""
+        client, _ = service
+        scenario = smoke_scale()
+        remote = client.run_experiment(
+            scenario, "DTS-SS", workload=rate_sweep_workload(2.0), num_runs=2
+        )
+        local = LocalClient(store=ResultStore(tmp_path / "local-cache")).run_experiment(
+            scenario, "DTS-SS", workload=rate_sweep_workload(2.0), num_runs=2
+        )
+        assert _comparable(remote.metrics) == _comparable(local.metrics)
+        assert remote.extras == local.extras
+
+    def test_submitted_results_warm_the_service_store(self, service) -> None:
+        client, svc = service
+        jobs = _jobs(protocols=("DTS-SS",))
+        client.run_jobs(jobs)
+        assert jobs[0].digest in svc.store
+        # A different client sweep over the same job is a pure cache hit.
+        other = ServiceClient(client.base_url, poll_interval=0.05)
+        other.run_jobs(_jobs(protocols=("DTS-SS", "PSM")))
+        assert other.last_cached >= 1
+
+
+class TestDrain:
+    def test_draining_service_rejects_new_sweeps(self, tmp_path) -> None:
+        store = ResultStore(tmp_path / "cache")
+        port, svc, shutdown = _start_test_service(store)
+        client = ServiceClient(f"http://127.0.0.1:{port}", poll_interval=0.05)
+        try:
+            jobs = _jobs(protocols=("DTS-SS",))
+            client.run_jobs(jobs)
+        finally:
+            shutdown()
+        # After drain the listener is down entirely.
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
