@@ -37,6 +37,7 @@ from ..obs.adapters import collect_run_counters
 from ..query.query import QuerySpec
 from ..query.workload import WorkloadSpec
 from ..routing.tree import RoutingTree, build_routing_tree
+from ..sanitizer import maybe_install_from_env
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
 from ..sim.trace import TraceRecorder
@@ -246,6 +247,10 @@ def run_single(
     the simulation schedule (and therefore every metric) is bit-identical
     with or without it.
     """
+    # Honour REPRO_SANITIZE=1 in every process that executes simulations
+    # (CLI, pytest, spawn-pool sweep workers inherit the environment).
+    # Runs outside the armed window, so the flag read itself never trips.
+    maybe_install_from_env()
     sim = Simulator(seed=seed, trace=trace if trace is not None else TraceRecorder(enabled=False))
     if topology is None:
         topology = build_scenario_topology(scenario, seed)

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 import ast
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Type
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (graph uses FileContext)
+    from .graph import ProjectGraph
 
 from .findings import Finding
 from .layers import Layer, is_hot_path, layer_of, package_relative
@@ -84,6 +87,38 @@ class Checker:
         import inspect
 
         return inspect.cleandoc(cls.__doc__ or "")
+
+
+class ProjectChecker(Checker):
+    """Base class for whole-program rules (REP100..).
+
+    Project checkers run once per lint run over the shared
+    :class:`~repro.lint.graph.ProjectGraph` instead of once per file, so
+    they can see import chains and call chains that cross module
+    boundaries.  They do not participate in the per-file pass
+    (:meth:`check` returns nothing); ``lint_source`` on a single blob
+    therefore never fires them, and the runner anchors their findings at
+    real source locations so the ordinary suppression syntax applies.
+    """
+
+    #: Marks the checker for the runner's project pass.
+    project: bool = True
+
+    def applies_to(self, context: FileContext) -> bool:
+        return False
+
+    def check(self, context: FileContext) -> List[Finding]:
+        return []
+
+    def check_project(self, graph: "ProjectGraph") -> List[Finding]:
+        """Return every violation found in the whole-program graph."""
+        raise NotImplementedError
+
+    def project_finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` at an explicit location."""
+        return Finding(path=path, line=line, col=col, code=self.code, message=message)
 
 
 #: code -> checker class.  Populated by :func:`register` at import time of

@@ -1,0 +1,140 @@
+"""The incremental lint cache: per-file findings keyed on content hash.
+
+Pre-commit's common case is an unchanged (or one-file) tree, so re-parsing
+a hundred files per commit is pure waste.  The cache stores, per file, the
+SHA-256 of its source plus the *raw* (pre-suppression) findings and the
+parsed suppression comments; on a hit the file is neither parsed nor
+checked, and suppression accounting replays from the cached records.
+Whole-program findings are keyed on the digest of the entire file set: any
+changed, added, or removed file invalidates them as a unit (a one-file
+edit can create or destroy a cross-module chain anywhere).
+
+The cache is an implementation detail of speed, never of truth: a
+fingerprint of the rule set and the cache schema version guards every
+load, so adding a rule or changing the format simply discards stale
+entries.  Corrupt or unreadable cache files are ignored, not fatal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Bump when the on-disk cache layout changes.
+CACHE_SCHEMA = 1
+
+#: Default cache location (repo root / current working directory).
+DEFAULT_CACHE_NAME = ".reprolint_cache.json"
+
+
+def source_digest(source: str) -> str:
+    """Content hash of one file's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def tree_digest(file_digests: Dict[str, str]) -> str:
+    """Digest of the whole linted file set (paths and contents)."""
+    hasher = hashlib.sha256()
+    for path in sorted(file_digests):
+        hasher.update(path.encode("utf-8"))
+        hasher.update(b"\0")
+        hasher.update(file_digests[path].encode("ascii"))
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
+def rules_fingerprint(codes: Sequence[str]) -> str:
+    """Fingerprint of the active rule set (cache key component)."""
+    payload = f"{CACHE_SCHEMA}:" + ",".join(sorted(codes))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(slots=True)
+class FileEntry:
+    """Cached per-file lint state."""
+
+    digest: str
+    #: Raw findings as dicts (pre-suppression; replayed on every run).
+    findings: List[Dict[str, Any]] = field(default_factory=list)
+    #: Parsed suppressions as dicts (line/codes/reason/own_line).
+    suppressions: List[Dict[str, Any]] = field(default_factory=list)
+
+
+class LintCache:
+    """Load/consult/update/save cycle for one lint run."""
+
+    __slots__ = ("path", "fingerprint", "files", "project_digest", "project_findings")
+
+    def __init__(self, path: Path, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self.files: Dict[str, FileEntry] = {}
+        self.project_digest: Optional[str] = None
+        self.project_findings: List[Dict[str, Any]] = []
+
+    @classmethod
+    def load(cls, path: Path, fingerprint: str) -> "LintCache":
+        """Read a cache file; mismatched or unreadable caches come back
+        empty (a miss, never an error)."""
+        cache = cls(path, fingerprint)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(data, dict) or data.get("fingerprint") != fingerprint:
+            return cache
+        files = data.get("files")
+        if isinstance(files, dict):
+            for file_path, entry in files.items():
+                if not isinstance(entry, dict) or "digest" not in entry:
+                    continue
+                cache.files[file_path] = FileEntry(
+                    digest=str(entry["digest"]),
+                    findings=list(entry.get("findings", ())),
+                    suppressions=list(entry.get("suppressions", ())),
+                )
+        project = data.get("project")
+        if isinstance(project, dict):
+            digest = project.get("tree_digest")
+            cache.project_digest = str(digest) if digest is not None else None
+            cache.project_findings = list(project.get("findings", ()))
+        return cache
+
+    def lookup(self, path: str, digest: str) -> Optional[FileEntry]:
+        """The cached entry for ``path`` iff its content is unchanged."""
+        entry = self.files.get(path)
+        if entry is not None and entry.digest == digest:
+            return entry
+        return None
+
+    def save(self) -> None:
+        """Persist atomically (write-then-rename); failures are silent --
+        a lint run must never break because the cache dir is read-only."""
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "files": {
+                path: {
+                    "digest": entry.digest,
+                    "findings": entry.findings,
+                    "suppressions": entry.suppressions,
+                }
+                for path, entry in sorted(self.files.items())
+            },
+            "project": {
+                "tree_digest": self.project_digest,
+                "findings": self.project_findings,
+            },
+        }
+        try:
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            tmp.write_text(
+                json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            os.replace(tmp, self.path)
+        except OSError:
+            pass

@@ -7,6 +7,26 @@ it enforces, why the invariant exists, and which test or PR motivated it.
 
 from __future__ import annotations
 
-from . import hashseed, ordering, randomness, slots, tracing, wallclock
+from . import (
+    codec_drift,
+    firewall,
+    hashseed,
+    ordering,
+    randomness,
+    reachability,
+    slots,
+    tracing,
+    wallclock,
+)
 
-__all__ = ["hashseed", "ordering", "randomness", "slots", "tracing", "wallclock"]
+__all__ = [
+    "codec_drift",
+    "firewall",
+    "hashseed",
+    "ordering",
+    "randomness",
+    "reachability",
+    "slots",
+    "tracing",
+    "wallclock",
+]

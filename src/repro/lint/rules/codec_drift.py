@@ -1,0 +1,316 @@
+"""REP102: codec field tables must match the dataclasses they encode."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..base import ProjectChecker, register
+from ..findings import Finding
+from ..graph import ClassInfo, ModuleNode, ProjectGraph
+from .._ast_util import dotted_name
+
+#: The codec module's field-constructor helpers: calls to any of these
+#: inside a ``register(...)`` contribute one field entry to the table.
+FIELD_CONSTRUCTORS = frozenset(
+    {
+        "Field",
+        "atom",
+        "seq",
+        "pairs",
+        "enum_member",
+        "int_keyed",
+        "mapping",
+        "value_list",
+        "custom",
+        "nested",
+        "optional_nested",
+        "nested_list",
+    }
+)
+
+_CODEC_MODULE = "orchestrator.codec"
+
+
+@dataclass(slots=True)
+class _FieldEntry:
+    """One statically parsed field entry of a registration."""
+
+    name: str
+    lineno: int
+    col: int
+    since: Optional[int]
+    has_default: bool
+
+
+@register
+class CodecDriftChecker(ProjectChecker):
+    """Every ``orchestrator.codec`` registration must agree with the
+    dataclass it serializes.
+
+    **Invariant.** For each ``register(Cls, field(...), ...)`` call the
+    static field table must name exactly the dataclass's instance fields
+    (no extras, no omissions, no duplicates), every ``since=N`` must fall
+    within ``1..SCHEMA_VERSION``, and any field introduced after the
+    oldest version in ``SUPPORTED_VERSIONS`` must carry a ``default`` /
+    ``default_factory`` -- otherwise decoding a warm-store record written
+    before the field existed raises in production instead of at lint
+    time.  This is precisely the drift class the declarative codec was
+    built to retire (~20 hand-written ``*_to_dict`` pairs going stale one
+    review at a time); the codec centralised the table, this rule keeps
+    the table honest.
+
+    **Sanctioned idiom.** Add the dataclass field and its codec entry in
+    the same commit, with ``since=SCHEMA_VERSION`` (bumped) and a default
+    for old-record decoding.  ``register_kind_params(Cls)`` is checked
+    against the fixed ``{kind, params}`` shape it derives.  Tables built
+    dynamically (computed field names) are invisible to the static check
+    and should be avoided for exactly that reason.
+    """
+
+    code = "REP102"
+    name = "codec-schema-drift"
+
+    def check_project(self, graph: ProjectGraph) -> List[Finding]:
+        codec = graph.modules.get(_CODEC_MODULE)
+        if codec is None:
+            return []
+        schema_version, min_supported = _codec_versions(codec)
+        findings: List[Finding] = []
+        for name in sorted(graph.modules):
+            module = graph.modules[name]
+            assert isinstance(module.tree, ast.Module)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = _registration_target(module, node)
+                if target is None:
+                    continue
+                findings.extend(
+                    self._check_registration(
+                        graph, module, node, target, schema_version, min_supported
+                    )
+                )
+        return findings
+
+    def _check_registration(
+        self,
+        graph: ProjectGraph,
+        module: ModuleNode,
+        call: ast.Call,
+        kind: str,
+        schema_version: Optional[int],
+        min_supported: Optional[int],
+    ) -> List[Finding]:
+        if not call.args:
+            return []
+        cls_dotted = dotted_name(call.args[0])
+        if cls_dotted is None:
+            return []
+        info = graph.resolve_class(module, cls_dotted)
+        if info is None or not info.is_dataclass:
+            # Dynamic or out-of-tree target: nothing checkable statically.
+            return []
+        declared = graph.dataclass_fields(info)
+        if declared is None:
+            return []
+        declared_names = {name for name, _, _ in declared}
+
+        if kind == "register_kind_params":
+            if declared_names != {"kind", "params"}:
+                extra = ", ".join(sorted(declared_names - {"kind", "params"}))
+                return [
+                    self.project_finding(
+                        module.path,
+                        call.lineno,
+                        call.col_offset,
+                        (
+                            f"register_kind_params({info.qualname.split('.')[-1]}) "
+                            "derives the fixed {kind, params} table, but the "
+                            f"dataclass declares extra field(s): {extra}; "
+                            "register the type with an explicit field table"
+                        ),
+                    )
+                ]
+            return []
+
+        entries, complete = _parse_field_entries(call)
+        findings: List[Finding] = []
+        seen: Dict[str, _FieldEntry] = {}
+        cls_name = info.qualname.split(".")[-1]
+        for entry in entries:
+            if entry.name in seen:
+                findings.append(
+                    self.project_finding(
+                        module.path,
+                        entry.lineno,
+                        entry.col,
+                        f"duplicate codec field `{entry.name}` for {cls_name}",
+                    )
+                )
+                continue
+            seen[entry.name] = entry
+            if entry.name not in declared_names:
+                findings.append(
+                    self.project_finding(
+                        module.path,
+                        entry.lineno,
+                        entry.col,
+                        (
+                            f"codec field `{entry.name}` does not exist on "
+                            f"dataclass {info.qualname}; the table drifted "
+                            "from the type it encodes"
+                        ),
+                    )
+                )
+            if entry.since is not None and schema_version is not None:
+                if entry.since < 1 or entry.since > schema_version:
+                    findings.append(
+                        self.project_finding(
+                            module.path,
+                            entry.lineno,
+                            entry.col,
+                            (
+                                f"codec field `{entry.name}` declares "
+                                f"since={entry.since}, outside "
+                                f"1..SCHEMA_VERSION ({schema_version})"
+                            ),
+                        )
+                    )
+                elif (
+                    min_supported is not None
+                    and entry.since > min_supported
+                    and not entry.has_default
+                ):
+                    findings.append(
+                        self.project_finding(
+                            module.path,
+                            entry.lineno,
+                            entry.col,
+                            (
+                                f"codec field `{entry.name}` is version-gated "
+                                f"(since={entry.since} > oldest supported "
+                                f"version {min_supported}) but has no default "
+                                "for decoding older records"
+                            ),
+                        )
+                    )
+        if complete:
+            for name, lineno, owner in sorted(declared):
+                if name not in seen:
+                    findings.append(
+                        self.project_finding(
+                            module.path,
+                            call.lineno,
+                            call.col_offset,
+                            (
+                                f"dataclass field `{cls_name}.{name}` "
+                                f"(declared at {owner}:{lineno}) has no codec "
+                                "entry; decoded records would silently drop it"
+                            ),
+                        )
+                    )
+        return findings
+
+
+def _registration_target(module: ModuleNode, call: ast.Call) -> Optional[str]:
+    """``"register"`` / ``"register_kind_params"`` when the call resolves
+    to the codec module's registration entry points."""
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    if module.name == _CODEC_MODULE and not rest:
+        resolved = f"{_CODEC_MODULE}.{head}"
+    else:
+        origin = module.bindings.get(head)
+        if origin is None:
+            return None
+        resolved = f"{origin}.{rest}" if rest else origin
+    if resolved == f"{_CODEC_MODULE}.register":
+        return "register"
+    if resolved == f"{_CODEC_MODULE}.register_kind_params":
+        return "register_kind_params"
+    return None
+
+
+def _parse_field_entries(call: ast.Call) -> Tuple[List[_FieldEntry], bool]:
+    """Parse the field-constructor args; ``complete`` is False when any
+    entry is dynamic (so coverage comparisons would be half-truths)."""
+    entries: List[_FieldEntry] = []
+    complete = True
+    for arg in call.args[1:]:
+        entry = _parse_entry(arg)
+        if entry is None:
+            complete = False
+            continue
+        entries.append(entry)
+    return entries, complete
+
+
+def _parse_entry(arg: ast.expr) -> Optional[_FieldEntry]:
+    if not isinstance(arg, ast.Call):
+        return None
+    func = dotted_name(arg.func)
+    if func is None or func.split(".")[-1] not in FIELD_CONSTRUCTORS:
+        return None
+    if not arg.args:
+        return None
+    name_node = arg.args[0]
+    if not isinstance(name_node, ast.Constant) or not isinstance(name_node.value, str):
+        return None
+    since: Optional[int] = None
+    has_default = False
+    for keyword in arg.keywords:
+        if keyword.arg == "since":
+            if isinstance(keyword.value, ast.Constant) and isinstance(
+                keyword.value.value, int
+            ):
+                since = keyword.value.value
+        elif keyword.arg in ("default", "default_factory"):
+            has_default = True
+    return _FieldEntry(
+        name=name_node.value,
+        lineno=arg.lineno,
+        col=arg.col_offset,
+        since=since,
+        has_default=has_default,
+    )
+
+
+def _codec_versions(codec: ModuleNode) -> Tuple[Optional[int], Optional[int]]:
+    """``(SCHEMA_VERSION, min(SUPPORTED_VERSIONS))`` read off the codec
+    module's AST (constants only; unresolvable shapes yield ``None``)."""
+    schema_version: Optional[int] = None
+    min_supported: Optional[int] = None
+    assert isinstance(codec.tree, ast.Module)
+    for statement in codec.tree.body:
+        if not isinstance(statement, ast.Assign) or len(statement.targets) != 1:
+            continue
+        target = statement.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if target.id == "SCHEMA_VERSION":
+            if isinstance(statement.value, ast.Constant) and isinstance(
+                statement.value.value, int
+            ):
+                schema_version = statement.value.value
+        elif target.id == "SUPPORTED_VERSIONS":
+            if isinstance(statement.value, (ast.Tuple, ast.List)):
+                versions: List[int] = []
+                for element in statement.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, int
+                    ):
+                        versions.append(element.value)
+                    elif (
+                        isinstance(element, ast.Name)
+                        and element.id == "SCHEMA_VERSION"
+                    ):
+                        continue  # folded in below when known
+                if versions:
+                    min_supported = min(versions)
+    if min_supported is None and schema_version is not None:
+        min_supported = schema_version
+    return schema_version, min_supported

@@ -9,7 +9,7 @@ from typing import List, Optional, Set
 from ..base import Checker, FileContext, register
 from ..findings import Finding
 from ..layers import Layer
-from ._ast_util import dotted_name
+from .._ast_util import dotted_name
 
 #: Calls whose invocation order is observable simulation behaviour: event
 #: scheduling, trace emission, and TimingTable writes (which fire listener

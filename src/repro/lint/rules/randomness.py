@@ -7,7 +7,7 @@ from typing import List
 
 from ..base import Checker, FileContext, register
 from ..findings import Finding
-from ._ast_util import import_map, resolve_call_target
+from .._ast_util import import_map, resolve_call_target
 
 #: The one module allowed to touch ``random`` directly.
 _ALLOWED_FILES = frozenset({"sim/rng.py"})

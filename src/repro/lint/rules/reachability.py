@@ -1,0 +1,81 @@
+"""REP101: transitive wall-clock/environment reachability from
+simulation code."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..base import ProjectChecker, register
+from ..findings import Finding
+from ..graph import ProjectGraph
+from ..layers import Layer, firewall_exemption
+
+
+@register
+class TransitiveHazardChecker(ProjectChecker):
+    """Simulation functions must not reach wall-clock or environment
+    reads through any call chain within the package.
+
+    **Invariant.** A function in a simulation module (everything
+    ``Simulator.run`` can dispatch into) must not reach ``time.*``,
+    ``os.environ``/``os.getenv``, or ``datetime.now`` through *any*
+    resolvable call chain -- not just directly (that is REP001's job) but
+    through helpers in other modules.  One wall-clock read on the event
+    path makes run-twice identity and parallel==serial bitwise equality
+    host- and load-dependent; one environment read makes results depend
+    on the shell that launched the sweep.  File-local analysis cannot see
+    `sim -> helper -> time.time()`; this rule walks the project call
+    graph and prints the full chain, anchored at the call site where
+    execution leaves the simulation layer (the one line whose edit or
+    suppression decides the finding).
+
+    **Sanctioned idiom.** Simulated time is ``Simulator.now``; wall-clock
+    cost accounting belongs in orchestration wrappers *around* ``run()``
+    (``experiments.runner`` times whole replications).  Architectural
+    crossings (``scenarios`` driving ``experiments``/``orchestrator``)
+    are exempted in :data:`repro.lint.layers.FIREWALL_EXEMPT_EDGES`; a
+    deliberate local crossing takes the ordinary inline suppression with
+    a reason, same as REP001..REP007.
+    """
+
+    code = "REP101"
+    name = "transitive-wall-clock"
+
+    def check_project(self, graph: ProjectGraph) -> List[Finding]:
+        findings: List[Finding] = []
+        for name in sorted(graph.modules):
+            module = graph.modules[name]
+            if module.layer is not Layer.SIMULATION:
+                continue
+            for qualname in sorted(module.functions):
+                node = module.functions[qualname]
+                # Direct hazards in simulation code are file-local
+                # territory (REP001 wall clock, REP005 environment);
+                # this rule owns the cross-module chains only.
+                for call in node.calls:
+                    target_module = graph.module_of_target(call.target)
+                    if target_module is None or target_module.layer is Layer.SIMULATION:
+                        continue
+                    if (
+                        firewall_exemption(module.relative, target_module.package)
+                        is not None
+                    ):
+                        continue
+                    chain = graph.hazard_chain(call.target)
+                    if chain is None:
+                        continue
+                    rendered = " -> ".join([node.qualname, *chain])
+                    findings.append(
+                        self.project_finding(
+                            module.path,
+                            call.lineno,
+                            call.col,
+                            (
+                                f"simulation function `{node.qualname}` reaches "
+                                f"`{chain[-1].split(' ')[0]}` through the call "
+                                f"chain {rendered}; simulated behaviour must "
+                                "not depend on wall-clock or environment state"
+                            ),
+                        )
+                    )
+        return findings

@@ -7,7 +7,7 @@ from typing import List
 
 from ..base import Checker, FileContext, register
 from ..findings import Finding
-from ._ast_util import class_declares_slots, decorator_info, dotted_name
+from .._ast_util import class_declares_slots, decorator_info, dotted_name
 
 #: Base classes that manage their own storage (or are cold by construction).
 _EXEMPT_BASES = frozenset(

@@ -8,7 +8,7 @@ from typing import List, Set
 
 from ..base import Checker, FileContext, register
 from ..findings import Finding
-from ._ast_util import dotted_name
+from .._ast_util import dotted_name
 
 #: Receivers that look like a trace recorder (``trace``, ``self._trace``,
 #: ``sim.trace`` ...).

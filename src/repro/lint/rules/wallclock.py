@@ -8,7 +8,7 @@ from typing import List
 from ..base import Checker, FileContext, register
 from ..findings import Finding
 from ..layers import Layer
-from ._ast_util import import_map, resolve_call_target
+from .._ast_util import import_map, resolve_call_target
 
 #: Canonical dotted call targets that read the host's clock.
 _WALL_CLOCK_CALLS = frozenset(

@@ -17,11 +17,12 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from .base import Checker, FileContext, select_checkers
+from .base import Checker, FileContext, ProjectChecker, select_checkers
+from .cache import FileEntry, LintCache, rules_fingerprint, source_digest, tree_digest
 from .findings import Finding
 
 #: The meta-rule code for suppression hygiene and parse failures.
@@ -157,6 +158,35 @@ def _apply_suppressions(
     return kept
 
 
+def _check_file(
+    source: str, path: str, checkers: Sequence[Checker]
+) -> Tuple[List[Finding], List[Suppression], Optional[FileContext]]:
+    """Run the per-file rules on one source blob.
+
+    Returns the *raw* (pre-suppression) findings, the parsed suppression
+    comments, and the parsed context (``None`` on a syntax error, which
+    is itself a REP000 finding).
+    """
+    try:
+        context = FileContext(path, source)
+    except SyntaxError as error:
+        finding = Finding(
+            path=path,
+            line=error.lineno or 1,
+            col=error.offset or 0,
+            code=META_CODE,
+            message=f"file does not parse: {error.msg}",
+        )
+        return [finding], [], None
+    findings: List[Finding] = []
+    for checker in checkers:
+        if isinstance(checker, ProjectChecker):
+            continue
+        if checker.applies_to(context):
+            findings.extend(checker.check(context))
+    return findings, parse_suppressions(source), context
+
+
 def lint_source(
     source: str,
     path: str = "fixture.py",
@@ -167,26 +197,13 @@ def lint_source(
 
     ``path`` drives the layer map, so fixtures choose their regime by
     naming themselves e.g. ``src/repro/sim/fixture.py`` (simulation) or
-    ``src/repro/obs/fixture.py`` (orchestration).
+    ``src/repro/obs/fixture.py`` (orchestration).  Whole-program rules
+    (REP100..) need a file *set* and therefore only run via
+    :func:`lint_paths`.
     """
     active = list(checkers) if checkers is not None else select_checkers(select)
-    try:
-        context = FileContext(path, source)
-    except SyntaxError as error:
-        return [
-            Finding(
-                path=path,
-                line=error.lineno or 1,
-                col=error.offset or 0,
-                code=META_CODE,
-                message=f"file does not parse: {error.msg}",
-            )
-        ]
-    findings: List[Finding] = []
-    for checker in active:
-        if checker.applies_to(context):
-            findings.extend(checker.check(context))
-    findings = _apply_suppressions(path, findings, parse_suppressions(source))
+    findings, suppressions, _ = _check_file(source, path, active)
+    findings = _apply_suppressions(path, findings, suppressions)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings
 
@@ -212,15 +229,119 @@ def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
 def lint_paths(
     paths: Iterable[Union[str, Path]],
     select: Optional[Sequence[str]] = None,
+    cache_path: Optional[Union[str, Path]] = None,
 ) -> LintResult:
-    """Lint every ``.py`` file under ``paths`` and aggregate the findings."""
+    """Lint every ``.py`` file under ``paths`` and aggregate the findings.
+
+    Runs the per-file rules on each file, builds the project graph once,
+    runs the whole-program rules (REP100..) over it, then applies inline
+    suppressions to the combined findings per file -- so one suppression
+    syntax covers both rule families.
+
+    ``cache_path`` enables the incremental cache: unchanged files replay
+    their cached raw findings and suppressions without being parsed, and
+    whole-program findings replay when *no* file in the set changed.
+    """
     checkers = select_checkers(select)
-    result = LintResult()
-    for file_path in iter_python_files(paths):
+    file_checkers = [c for c in checkers if not isinstance(c, ProjectChecker)]
+    project_checkers = [c for c in checkers if isinstance(c, ProjectChecker)]
+
+    cache: Optional[LintCache] = None
+    if cache_path is not None:
+        fingerprint = rules_fingerprint([c.code for c in checkers])
+        cache = LintCache.load(Path(cache_path), fingerprint)
+
+    files = iter_python_files(paths)
+    digests: Dict[str, str] = {}
+    sources: Dict[str, str] = {}
+    raw: Dict[str, List[Finding]] = {}
+    suppressions: Dict[str, List[Suppression]] = {}
+    contexts: Dict[str, Optional[FileContext]] = {}
+
+    for file_path in files:
+        path = str(file_path)
         source = file_path.read_text(encoding="utf-8")
-        result.findings.extend(
-            lint_source(source, path=str(file_path), checkers=checkers)
+        digest = source_digest(source)
+        digests[path] = digest
+        sources[path] = source
+        entry = cache.lookup(path, digest) if cache is not None else None
+        if entry is not None:
+            raw[path] = [Finding(**f) for f in entry.findings]
+            suppressions[path] = [Suppression(**s) for s in entry.suppressions]
+        else:
+            raw[path], suppressions[path], contexts[path] = _check_file(
+                source, path, file_checkers
+            )
+
+    project_findings: List[Finding] = []
+    if project_checkers:
+        project_findings = _project_findings(
+            project_checkers, files, sources, digests, contexts, cache
         )
-        result.files_checked += 1
+
+    if cache is not None:
+        cache.files = {
+            path: _cache_entry(digests[path], raw[path], suppressions[path])
+            for path in digests
+        }
+        cache.save()
+
+    result = LintResult(files_checked=len(files))
+    by_path: Dict[str, List[Finding]] = {path: list(raw[path]) for path in digests}
+    for finding in project_findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    for path, findings in by_path.items():
+        result.findings.extend(
+            _apply_suppressions(path, findings, suppressions.get(path, []))
+        )
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return result
+
+
+def _project_findings(
+    project_checkers: Sequence[ProjectChecker],
+    files: Sequence[Path],
+    sources: Dict[str, str],
+    digests: Dict[str, str],
+    contexts: Dict[str, Optional[FileContext]],
+    cache: Optional[LintCache],
+) -> List[Finding]:
+    """Run (or replay) the whole-program rules for this file set."""
+    digest = tree_digest(digests)
+    if cache is not None and cache.project_digest == digest:
+        findings = [Finding(**f) for f in cache.project_findings]
+        return findings
+
+    # Build the graph: parse the cache-hit files the per-file pass skipped.
+    from .graph import build_project_graph
+
+    graph_contexts: List[FileContext] = []
+    for file_path in files:
+        path = str(file_path)
+        if path not in contexts:
+            try:
+                contexts[path] = FileContext(path, sources[path])
+            except SyntaxError:
+                contexts[path] = None
+        context = contexts[path]
+        if context is not None:
+            graph_contexts.append(context)
+    graph = build_project_graph(graph_contexts)
+
+    findings = []
+    for checker in project_checkers:
+        findings.extend(checker.check_project(graph))
+    if cache is not None:
+        cache.project_digest = digest
+        cache.project_findings = [f.as_dict() for f in findings]
+    return findings
+
+
+def _cache_entry(
+    digest: str, findings: Sequence[Finding], supps: Sequence[Suppression]
+) -> FileEntry:
+    return FileEntry(
+        digest=digest,
+        findings=[f.as_dict() for f in findings],
+        suppressions=[asdict(s) for s in supps],
+    )

@@ -1,0 +1,56 @@
+"""Runtime determinism sanitizer: tripwires for what static analysis
+structurally cannot see.
+
+reprolint's whole-program pass (REP100..REP102) resolves *names*; it is
+blind to ``getattr`` indirection, C extensions, callbacks stored in
+containers, and any future compiled fast path (the ROADMAP's 10x-kernel
+item).  This package is the dynamic counterpart: an opt-in mode that
+patches the hazardous entry points -- ``time.*``, module-level
+``random.*``, ``os.environ`` reads -- with call-site-recording tripwires,
+and wraps the known hot-site sets with an iteration guard, so *any*
+determinism violation that actually executes during a simulation becomes
+a hard :class:`DeterminismViolation` with the offending stack trace,
+instead of a bit-level divergence discovered two sweeps later.
+
+Three ways in, all equivalent:
+
+* ``repro --sanitize ...`` (any simulation-running subcommand),
+* ``REPRO_SANITIZE=1`` in the environment (inherited by sweep workers),
+* the ``determinism_sanitizer`` pytest fixture.
+
+The tripwires are *armed* only while ``Simulator.run()`` is on the stack
+(via the engine's ``run_watcher`` hook -- set from this side, so the
+simulation layer never imports orchestration code): orchestration is free
+to time sweeps and read configuration between runs, exactly as the layer
+map allows.
+"""
+
+from __future__ import annotations
+
+from .runtime import (
+    ENV_FLAG,
+    DeterminismViolation,
+    Sanitizer,
+    TripwireHit,
+    active,
+    enabled_by_env,
+    install,
+    maybe_install_from_env,
+    sanitized,
+    uninstall,
+)
+from .sets import GuardedSet
+
+__all__ = [
+    "DeterminismViolation",
+    "ENV_FLAG",
+    "GuardedSet",
+    "Sanitizer",
+    "TripwireHit",
+    "active",
+    "enabled_by_env",
+    "install",
+    "maybe_install_from_env",
+    "sanitized",
+    "uninstall",
+]

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 from heapq import heappop, heappush
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, ClassVar, Iterable, Optional, Protocol
 
 from .events import Event, EventHandle, EventPriority
 from .rng import RandomStreams
@@ -41,6 +41,20 @@ from .trace import TraceRecorder
 
 class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulation engine."""
+
+
+class RunWatcher(Protocol):
+    """Hook armed for the duration of :meth:`Simulator.run`.
+
+    The runtime determinism sanitizer (:mod:`repro.sanitizer`) installs
+    itself here from the *orchestration* side -- the engine only holds
+    the slot, so the simulation layer never imports wall-clock code and
+    the layer firewall (REP100) stays intact.
+    """
+
+    def arm(self) -> None: ...
+
+    def disarm(self) -> None: ...
 
 
 class Simulator:
@@ -68,6 +82,11 @@ class Simulator:
         "streams",
         "trace",
     )
+
+    #: Process-wide watcher armed while any simulator runs (a class
+    #: attribute, deliberately outside ``__slots__``): ``None`` unless the
+    #: determinism sanitizer is installed.
+    run_watcher: ClassVar[Optional[RunWatcher]] = None
 
     def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None) -> None:
         #: Current simulation time in seconds.  A plain attribute rather
@@ -262,6 +281,9 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        watcher = Simulator.run_watcher
+        if watcher is not None:
+            watcher.arm()
         fired_this_run = 0
         horizon = math.inf if until is None else until
         budget = math.inf if max_events is None else max_events
@@ -319,6 +341,8 @@ class Simulator:
             self._processed_events += fired_this_run
             self._peak_heap_size = peak
             self._running = False
+            if watcher is not None:
+                watcher.disarm()
         return self.now
 
     def stop(self) -> None:

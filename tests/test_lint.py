@@ -454,7 +454,18 @@ class TestCli:
         out = io.StringIO()
         assert lint_main(["--list-rules"], out=out) == 0
         text = out.getvalue()
-        for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"):
+        for code in (
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+            "REP007",
+            "REP100",
+            "REP101",
+            "REP102",
+        ):
             assert code in text
 
     def test_repro_cli_integration(self) -> None:
